@@ -1,0 +1,64 @@
+// Figure 10: (a) P99 kernel latency at different training batch sizes,
+// plotted against the memory footprint at that batch; (b) P99 kernel latency
+// for LLM inference at small/medium/large prompt lengths.
+#include "bench/bench_util.h"
+#include "src/workloads/trace.h"
+#include "src/workloads/zoo.h"
+
+using namespace lithos;
+
+int main() {
+  const GpuSpec spec = GpuSpec::A100();
+
+  bench::PrintHeader("Figure 10(a): P99 kernel latency vs training batch size",
+                     "Fig. 10a — multi-ms kernels as batches grow; DLRM exceeds 30 ms");
+
+  struct TrainSweep {
+    std::string model;
+    std::vector<int> batches;
+  };
+  const std::vector<TrainSweep> sweeps = {
+      {"DLRM", {2048, 8192, 16384, 32768}}, {"BERT", {4, 8, 12, 20}},
+      {"MobileNet", {32, 64, 128, 216}},    {"ResNet", {32, 64, 128, 184}},
+      {"VGG", {16, 32, 64, 120}},
+  };
+  Table a({"model", "batch", "mem (GiB)", "P99 kernel (ms)", "max kernel (ms)"});
+  for (const TrainSweep& sweep : sweeps) {
+    for (int batch : sweep.batches) {
+      ModelProfileRef profile;
+      if (sweep.model == "DLRM") {
+        profile = MakeDlrmTraining(spec, batch);
+      } else if (sweep.model == "BERT") {
+        profile = MakeBertLargeTraining(spec, batch);
+      } else if (sweep.model == "MobileNet") {
+        profile = MakeMobileNetV2Training(spec, batch);
+      } else if (sweep.model == "ResNet") {
+        profile = MakeResNet50Training(spec, batch);
+      } else {
+        profile = MakeVgg19Training(spec, batch);
+      }
+      a.AddRow({sweep.model, std::to_string(batch), Table::Num(profile->memory_gib, 1),
+                Table::Num(ToMillis(profile->KernelLatencyPercentileNs(spec, 99)), 2),
+                Table::Num(ToMillis(profile->MaxKernelLatencyNs(spec)), 2)});
+    }
+  }
+  a.Print();
+
+  bench::PrintHeader("Figure 10(b): P99 kernel latency vs LLM prompt length",
+                     "Fig. 10b — several-ms kernels for large prompts (S/M/L trace buckets)");
+  Table b({"model", "bucket", "prompt", "output", "P99 kernel (ms)"});
+  for (const char* model : {"Llama 3", "GPT-J"}) {
+    for (const LlmRequestShape& shape :
+         {AzureLlmTrace::Small(), AzureLlmTrace::Medium(), AzureLlmTrace::Large()}) {
+      const ModelProfileRef profile =
+          std::string(model) == "Llama 3"
+              ? MakeLlama3Inference(spec, shape.prompt_len, shape.output_len)
+              : MakeGptJInference(spec, shape.prompt_len, shape.output_len);
+      b.AddRow({model, std::string(1, shape.bucket), std::to_string(shape.prompt_len),
+                std::to_string(shape.output_len),
+                Table::Num(ToMillis(profile->KernelLatencyPercentileNs(spec, 99)), 2)});
+    }
+  }
+  b.Print();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 11: interpolated TPC scaling curves — per-kernel speedup as a
+// function of allocated TPCs for Llama 3 inference, Llama 3 finetuning, and
+// ResNet inference, with each kernel weighted by its share of total time.
+// Also reports the R^2 of the l = m/t + b fit (paper §7.2: 0.92-0.99).
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/workloads/zoo.h"
+
+using namespace lithos;
+
+namespace {
+
+void ScalingPanel(const std::string& title, const ModelProfileRef& profile, const GpuSpec& spec) {
+  std::printf("\n--- %s ---\n", title.c_str());
+
+  double total_ns = 0;
+  for (const KernelDesc& k : profile->ops) {
+    total_ns += static_cast<double>(k.LatencyNs(spec, spec.TotalTpcs(), spec.max_mhz));
+  }
+
+  const std::vector<int> points = {1, 6, 12, 18, 27, 36, 45, 54};
+  Table table({"TPCs", "weighted speedup", "best kernel", "worst kernel"});
+  for (int t : points) {
+    double wsum = 0, best = 0, worst = 1e18;
+    for (const KernelDesc& k : profile->ops) {
+      const double l1 = static_cast<double>(k.LatencyNs(spec, 1, spec.max_mhz));
+      const double lt = static_cast<double>(k.LatencyNs(spec, t, spec.max_mhz));
+      const double lfull = static_cast<double>(k.LatencyNs(spec, spec.TotalTpcs(), spec.max_mhz));
+      const double speedup = l1 / lt;
+      wsum += speedup * lfull / total_ns;
+      best = std::max(best, speedup);
+      worst = std::min(worst, speedup);
+    }
+    table.AddRow({std::to_string(t), Table::Num(wsum, 1), Table::Num(best, 1),
+                  Table::Num(worst, 1)});
+  }
+
+  // Fit quality: execution-time-weighted R^2 of the l = m/t + b fit (§7.2).
+  double weighted_r2 = 0;
+  for (const KernelDesc& k : profile->ops) {
+    std::vector<double> ts, ls;
+    for (int t : points) {
+      ts.push_back(t);
+      ls.push_back(static_cast<double>(k.LatencyNs(spec, t, spec.max_mhz)));
+    }
+    const ScalingFit fit = FitInverseScaling(ts, ls);
+    const double lfull = static_cast<double>(k.LatencyNs(spec, spec.TotalTpcs(), spec.max_mhz));
+    weighted_r2 += std::max(0.0, fit.r_squared) * lfull / total_ns;
+  }
+  table.Print();
+  std::printf("time-weighted R^2 of l = m/t + b fit: %.3f  [paper: 0.92-0.99]\n", weighted_r2);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 11: TPC scaling curves",
+                     "Fig. 11 — kernel speedup vs allocated TPCs, weighted by time share");
+  const GpuSpec spec = GpuSpec::A100();
+  ScalingPanel("Llama 3 Inference (medium prompt)", MakeLlama3Inference(spec, 512, 128), spec);
+  ScalingPanel("Llama 3 Finetuning", MakeLlama3Finetune(spec), spec);
+  ScalingPanel("ResNet Inference (batch 8)", MakeResNet50Inference(spec, 8), spec);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 12: interpolated frequency scaling curves — per-kernel speedup as a
+// function of the graphics clock for Llama 3 inference, BERT inference, and
+// ResNet training, weighted by each kernel's share of total time.
+#include "bench/bench_util.h"
+#include "src/workloads/zoo.h"
+
+using namespace lithos;
+
+namespace {
+
+void FreqPanel(const std::string& title, const ModelProfileRef& profile, const GpuSpec& spec) {
+  std::printf("\n--- %s ---\n", title.c_str());
+  double total_ns = 0;
+  for (const KernelDesc& k : profile->ops) {
+    total_ns += static_cast<double>(k.LatencyNs(spec, spec.TotalTpcs(), spec.max_mhz));
+  }
+  Table table({"MHz", "weighted speedup vs min", "compute-bound kernel", "memory-bound kernel"});
+  for (int f : {705, 870, 1005, 1140, 1275, 1410}) {
+    double wsum = 0, most = 0, least = 1e18;
+    for (const KernelDesc& k : profile->ops) {
+      const double lmin = static_cast<double>(k.LatencyNs(spec, spec.TotalTpcs(), spec.min_mhz));
+      const double lf = static_cast<double>(k.LatencyNs(spec, spec.TotalTpcs(), f));
+      const double lfull = static_cast<double>(k.LatencyNs(spec, spec.TotalTpcs(), spec.max_mhz));
+      const double speedup = lmin / lf;
+      wsum += speedup * lfull / total_ns;
+      most = std::max(most, speedup);
+      least = std::min(least, speedup);
+    }
+    table.AddRow({std::to_string(f), Table::Num(wsum, 2), Table::Num(most, 2),
+                  Table::Num(least, 2)});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figure 12: Frequency scaling curves",
+                     "Fig. 12 — compute-bound kernels scale with clock; memory-bound do not");
+  const GpuSpec spec = GpuSpec::A100();
+  FreqPanel("Llama 3 Inference (medium prompt)", MakeLlama3Inference(spec, 512, 128), spec);
+  FreqPanel("BERT Inference (batch 8)", MakeBertLargeInference(spec, 8), spec);
+  FreqPanel("ResNet Training", MakeResNet50Training(spec), spec);
+  return 0;
+}

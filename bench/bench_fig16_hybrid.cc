@@ -1,0 +1,119 @@
+// Figure 16: hybrid inference/training multitenancy — P99 service latency
+// (normalised to solo) and aggregate throughput (HP normalised to load + BE
+// normalised to solo training), for every HP inference model, averaged over
+// all six BE training models, under all nine systems.
+#include <map>
+
+#include "bench/bench_util.h"
+
+using namespace lithos;
+using namespace lithos::bench;
+
+int main() {
+  PrintHeader("Figure 16: Hybrid inference/training multitenancy",
+              "Fig. 16 — (a) P99 latency vs ideal, (b) aggregate throughput");
+
+  SoloCache solos;
+  const GpuSpec spec = GpuSpec::A100();
+
+  struct Cell {
+    StreamingStats latency_x;  // P99 / solo P99
+    StreamingStats hp_thr;     // throughput / load
+    StreamingStats be_thr;     // iterations / solo iterations
+  };
+  std::map<SystemKind, std::map<std::string, Cell>> grid;
+
+  const auto hp_models = HybridHpModels();
+  const auto be_jobs = TrainingJobs();
+  std::printf("running %zu HP x %zu BE x %zu systems...\n", hp_models.size(), be_jobs.size(),
+              AllSystems().size());
+
+  for (const std::string& hp_model : hp_models) {
+    AppSpec hp = MakeHpApp(hp_model, AppRole::kHpLatency, HybridLoadRps(hp_model));
+    const AppResult& solo_hp = solos.Get(hp);
+
+    for (const TrainingJobSpec& job : be_jobs) {
+      AppSpec be = MakeBeTrainingApp(job.model);
+      const AppResult& solo_be = solos.Get(be);
+
+      for (SystemKind system : AllSystems()) {
+        StackingConfig cfg;
+        cfg.system = system;
+        cfg.warmup = kWarmup;
+        cfg.duration = FromSeconds(6);
+        AppSpec h = hp, b = be;
+        AssignHybridQuotas(system, spec, &h, &b);
+        const StackingResult r = RunStacking(cfg, {h, b});
+
+        Cell& cell = grid[system][hp_model];
+        cell.latency_x.Add(r.apps[0].p99_ms / std::max(1e-9, solo_hp.p99_ms));
+        cell.hp_thr.Add(r.apps[0].throughput_rps / hp.load_rps);
+        cell.be_thr.Add(r.apps[1].iterations_per_s /
+                        std::max(1e-9, solo_be.iterations_per_s));
+      }
+    }
+  }
+
+  // --- Fig. 16(a): P99 latency, normalised to solo -----------------------------
+  std::printf("\nFigure 16(a): HP P99 latency (x ideal), averaged over training models\n");
+  std::vector<std::string> header = {"system"};
+  for (const std::string& m : hp_models) {
+    header.push_back(m);
+  }
+  header.push_back("mean");
+  Table f16a(header);
+  std::map<SystemKind, double> mean_lat;
+  for (SystemKind system : AllSystems()) {
+    std::vector<std::string> row = {SystemName(system)};
+    double total = 0;
+    for (const std::string& m : hp_models) {
+      const double v = grid[system][m].latency_x.mean();
+      row.push_back(Table::Num(v, 2));
+      total += v;
+    }
+    mean_lat[system] = total / hp_models.size();
+    row.push_back(Table::Num(mean_lat[system], 2));
+    f16a.AddRow(row);
+  }
+  f16a.Print();
+
+  // --- Fig. 16(b): aggregate throughput ---------------------------------------
+  std::printf("\nFigure 16(b): aggregate throughput (HP/load + BE/solo)\n");
+  std::vector<std::string> header_b = {"system"};
+  for (const std::string& m : hp_models) {
+    header_b.push_back(m);
+  }
+  header_b.push_back("mean");
+  Table f16b(header_b);
+  std::map<SystemKind, double> mean_agg;
+  for (SystemKind system : AllSystems()) {
+    std::vector<std::string> row = {SystemName(system)};
+    double total = 0;
+    for (const std::string& m : hp_models) {
+      const Cell& cell = grid[system][m];
+      const double v = cell.hp_thr.mean() + cell.be_thr.mean();
+      row.push_back(Table::Num(v, 2));
+      total += v;
+    }
+    mean_agg[system] = total / hp_models.size();
+    row.push_back(Table::Num(mean_agg[system], 2));
+    f16b.AddRow(row);
+  }
+  f16b.Print();
+
+  std::printf("\nHeadline (paper values in brackets):\n");
+  std::printf("  MPS latency vs ideal     : %.2fx  [5.83x]\n", mean_lat[SystemKind::kMps]);
+  std::printf("  Priority latency         : %.2fx  [2.89x]\n", mean_lat[SystemKind::kPriority]);
+  std::printf("  REEF latency             : %.2fx  [2.89x, up to 8.93x]\n",
+              mean_lat[SystemKind::kReef]);
+  std::printf("  TGS latency              : %.2fx  [1.41x]\n", mean_lat[SystemKind::kTgs]);
+  std::printf("  LithOS latency           : %.2fx  [1.19x, within 20%% of ideal]\n",
+              mean_lat[SystemKind::kLithos]);
+  std::printf("  LithOS/TGS latency ratio : %.2fx  [1.18x]\n",
+              mean_lat[SystemKind::kTgs] / mean_lat[SystemKind::kLithos]);
+  std::printf("  MPS/LithOS latency ratio : %.2fx  [4.7x avg, up to 13.54x]\n",
+              mean_lat[SystemKind::kMps] / mean_lat[SystemKind::kLithos]);
+  std::printf("  LithOS aggregate / TGS   : %.2fx  [1.35x]\n",
+              mean_agg[SystemKind::kLithos] / mean_agg[SystemKind::kTgs]);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Table 1: training model parameters — memory footprint, batch size, and
+// iteration latency, measured by running each training job alone on the
+// simulated A100 and timing iterations end to end.
+#include "bench/bench_util.h"
+
+using namespace lithos;
+
+int main() {
+  bench::PrintHeader("Table 1: Training model parameters",
+                     "Table 1 — memory (GiB), batch size, iteration latency (ms)");
+
+  const GpuSpec spec = GpuSpec::A100();
+  Table table({"Model", "Mem. (GiB)", "Batch Size", "Latency (ms)", "[paper ms]", "kernels"});
+  for (const TrainingJobSpec& job : TrainingJobs()) {
+    const ModelProfileRef profile = MakeTrainingByName(job.model, spec);
+
+    // Measure an iteration end-to-end through the full stack.
+    AppSpec app = bench::MakeBeTrainingApp(job.model);
+    app.quota_tpcs = spec.TotalTpcs();
+    const AppResult solo = RunSolo(app, spec, FromSeconds(6));
+    const double measured_ms =
+        solo.iteration_p50_ms > 0 ? solo.iteration_p50_ms
+                                  : ToMillis(profile->IdealLatencyNs(spec));
+
+    table.AddRow({job.model, Table::Num(profile->memory_gib, 1), std::to_string(job.batch),
+                  Table::Num(measured_ms, 0), Table::Num(ToMillis(job.iteration), 0),
+                  std::to_string(profile->ops.size())});
+  }
+  table.Print();
+  return 0;
+}

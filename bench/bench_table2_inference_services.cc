@@ -1,0 +1,24 @@
+// Table 2: inference services for inference-only multitenancy — framework,
+// offered load, and latency constraint, with the measured solo P99 latency
+// and SLO attainment at that load.
+#include "bench/bench_util.h"
+
+using namespace lithos;
+
+int main() {
+  bench::PrintHeader("Table 2: Inference services",
+                     "Table 2 — framework, load (rps), constraint (ms); plus solo behaviour");
+
+  Table table({"Model", "Framework", "Load (rps)", "Constraint (ms)", "solo P99 (ms)",
+               "solo SLO att."});
+  bench::SoloCache solos;
+  for (const InferenceServiceSpec& svc : InferenceServices()) {
+    const AppSpec app = bench::MakeHpApp(svc.model, AppRole::kHpLatency);
+    const AppResult& solo = solos.Get(app);
+    table.AddRow({svc.model, svc.framework, Table::Num(svc.load_rps, 1),
+                  Table::Num(ToMillis(svc.slo), 0), Table::Num(solo.p99_ms, 2),
+                  Table::Num(100 * solo.slo_attainment, 1) + "%"});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Shared helpers for the figure/table reproduction benches: experiment
+// definitions (which models appear where), solo-baseline caching for the
+// paper's normalisations, and headline printing.
+#ifndef LITHOS_BENCH_BENCH_UTIL_H_
+#define LITHOS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/table.h"
+#include "src/experiments/harness.h"
+
+namespace lithos::bench {
+
+// Measurement windows: long enough for stable percentiles, short enough that
+// the full sweeps finish in minutes.
+inline constexpr DurationNs kWarmup = FromSeconds(2);
+inline constexpr DurationNs kDuration = FromSeconds(8);
+
+// --- Experiment rosters (Section 6 / 7.1) -------------------------------------
+
+// HP A candidates for inference-only stacking: ResNet, RetinaNet + the
+// language models.
+inline std::vector<std::string> HpACandidates() {
+  return {"ResNet", "RetinaNet", "Llama 3", "GPT-J", "BERT"};
+}
+// HP B / BE candidates: the language models.
+inline std::vector<std::string> HpBCandidates() { return {"Llama 3", "GPT-J", "BERT"}; }
+
+// HP inference models of the hybrid experiment (Fig. 16).
+inline std::vector<std::string> HybridHpModels() {
+  return {"Llama 3", "RetinaNet", "GPT-J", "BERT", "YOLO"};
+}
+
+struct InferenceCombo {
+  std::string hp_a;
+  std::string hp_b;
+  std::string be;
+};
+
+// All distinct (HP A, HP B, BE) combinations, as in Section 7.1.
+inline std::vector<InferenceCombo> InferenceCombos() {
+  std::vector<InferenceCombo> combos;
+  for (const std::string& a : HpACandidates()) {
+    for (const std::string& b : HpBCandidates()) {
+      if (b == a) {
+        continue;
+      }
+      for (const std::string& c : HpBCandidates()) {
+        if (c == a || c == b) {
+          continue;
+        }
+        combos.push_back({a, b, c});
+      }
+    }
+  }
+  return combos;
+}
+
+// --- App builders ---------------------------------------------------------------
+
+inline AppSpec MakeHpApp(const std::string& model, AppRole role, double load_override = 0) {
+  const InferenceServiceSpec svc = ServiceFor(model);
+  AppSpec app;
+  app.role = role;
+  app.model = model;
+  app.load_rps = load_override > 0 ? load_override : svc.load_rps;
+  app.slo = svc.slo;
+  app.max_batch = svc.max_batch;
+  return app;
+}
+
+inline AppSpec MakeBeInferenceApp(const std::string& model) {
+  AppSpec app;
+  app.role = AppRole::kBeInference;
+  app.model = model;
+  app.batch_size = ServiceFor(model).max_batch;
+  return app;
+}
+
+inline AppSpec MakeBeTrainingApp(const std::string& model) {
+  AppSpec app;
+  app.role = AppRole::kBeTraining;
+  app.model = model;
+  return app;
+}
+
+// --- Solo baselines ("ideal") ------------------------------------------------------
+
+// Per-process cache of solo runs used by the figures' normalisations.
+class SoloCache {
+ public:
+  const AppResult& Get(const AppSpec& app) {
+    const std::string key =
+        app.model + "/" + std::to_string(static_cast<int>(app.role)) + "/" +
+        std::to_string(app.load_rps) + "/" + std::to_string(app.batch_size);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      it = cache_.emplace(key, RunSolo(app, GpuSpec::A100(), kDuration)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, AppResult> cache_;
+};
+
+inline void PrintHeader(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("==================================================================\n");
+}
+
+}  // namespace lithos::bench
+
+#endif  // LITHOS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,62 @@
+// Hybrid serving + training: a latency-critical BERT service stacked with
+// best-effort Llama 3 finetuning, walking through LithOS's feature ladder —
+// no isolation (MPS), TPC Scheduling, then Kernel Atomization — the paper's
+// Fig. 19 ablation as a runnable example.
+//
+//   ./examples/hybrid_training
+#include <cstdio>
+
+#include "src/experiments/harness.h"
+
+using namespace lithos;
+
+int main() {
+  AppSpec hp;
+  hp.role = AppRole::kHpLatency;
+  hp.model = "BERT";
+  hp.load_rps = HybridLoadRps("BERT");
+  hp.slo = FromMillis(130);
+  hp.max_batch = 16;
+
+  AppSpec be;
+  be.role = AppRole::kBeTraining;
+  be.model = "Llama 3";  // finetuning, Table 1
+
+  const AppResult solo = RunSolo(hp, GpuSpec::A100(), FromSeconds(8));
+  std::printf("BERT alone on the device: p99 = %.2f ms at %.0f rps\n", solo.p99_ms,
+              solo.throughput_rps);
+
+  struct Step {
+    const char* label;
+    SystemKind system;
+    bool atomization;
+  };
+  const Step steps[] = {
+      {"MPS (no isolation)", SystemKind::kMps, false},
+      {"+ TPC Scheduling (stealing, no atomization)", SystemKind::kLithos, false},
+      {"+ Kernel Atomization (full LithOS)", SystemKind::kLithos, true},
+  };
+
+  for (const Step& step : steps) {
+    StackingConfig cfg;
+    cfg.system = step.system;
+    cfg.lithos.enable_atomization = step.atomization;
+    cfg.warmup = FromSeconds(2);
+    cfg.duration = FromSeconds(8);
+    AppSpec h = hp, b = be;
+    AssignHybridQuotas(cfg.system, cfg.spec, &h, &b);
+    const StackingResult r = RunStacking(cfg, {h, b});
+    std::printf("\n%s\n", step.label);
+    std::printf("  BERT  : p99 %8.2f ms (%.2fx ideal) | throughput %6.1f rps\n",
+                r.apps[0].p99_ms, r.apps[0].p99_ms / solo.p99_ms,
+                r.apps[0].throughput_rps);
+    std::printf("  Llama : %.2f finetune iterations/s (best effort)\n",
+                r.apps[1].iterations_per_s);
+    if (r.atoms_dispatched > 0) {
+      std::printf("  LithOS: %llu atoms, %llu stolen TPC grants\n",
+                  static_cast<unsigned long long>(r.atoms_dispatched),
+                  static_cast<unsigned long long>(r.tpcs_stolen));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,183 @@
+#include "src/baselines/concurrent_backends.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace lithos {
+
+// --- MPS ---------------------------------------------------------------------
+
+void MpsBackend::OnStreamReady(Stream* stream) {
+  // MPS multiplexes every context onto the device unconditionally.
+  SubmitWhole(stream, engine_->spec().AllTpcs(), 1.0);
+}
+
+// --- Priority -----------------------------------------------------------------
+
+void PriorityBackend::OnStreamReady(Stream* stream) {
+  const double boost = IsHighPriority(stream->client_id()) ? hp_weight_ : 1.0;
+  SubmitWhole(stream, engine_->spec().AllTpcs(), boost);
+}
+
+// --- REEF ---------------------------------------------------------------------
+
+bool ReefBackend::AnyHpActive() const {
+  return InflightOfClass(PriorityClass::kHighPriority) > 0;
+}
+
+void ReefBackend::OnStreamReady(Stream* stream) {
+  if (IsHighPriority(stream->client_id())) {
+    SubmitWhole(stream, engine_->spec().AllTpcs(), 1.0);
+    return;
+  }
+  if (be_waiting_set_.insert(stream).second) {
+    be_waiting_.push_back(stream);
+  }
+  PumpBestEffort();
+}
+
+void ReefBackend::PumpBestEffort() {
+  // Gate check happens when a window opens; kernels within an open window
+  // are already committed to the device queue and launch regardless.
+  while (!be_waiting_.empty()) {
+    if (be_window_remaining_ <= 0) {
+      if (AnyHpActive()) {
+        return;  // Gate closed; wait for the HP side to drain.
+      }
+      be_window_remaining_ = kBeWindow;
+    }
+    Stream* s = be_waiting_.front();
+    be_waiting_.pop_front();
+    be_waiting_set_.erase(s);
+    if (s->HasDispatchableKernel()) {
+      SubmitWhole(s, engine_->spec().AllTpcs(), 1.0);
+      --be_window_remaining_;
+    }
+  }
+}
+
+void ReefBackend::HandleHeadComplete(Stream* stream, const GrantInfo& info) {
+  (void)info;
+  stream->CompleteHead();
+  PumpBestEffort();
+}
+
+// --- TGS ----------------------------------------------------------------------
+
+void TgsBackend::OnStreamReady(Stream* stream) {
+  if (IsHighPriority(stream->client_id())) {
+    // Rate-control feedback: HP work arriving while BE work is resident is
+    // the congestion signal; widen the BE launch gap.
+    if (InflightOfClass(PriorityClass::kBestEffort) > 0) {
+      be_gap_ = std::clamp(
+          static_cast<DurationNs>(static_cast<double>(std::max(be_gap_, kInitialGap)) * kGrow),
+          kMinGap, kMaxGap);
+    }
+    SubmitWhole(stream, engine_->spec().AllTpcs(), 1.0);
+    return;
+  }
+  if (be_waiting_set_.insert(stream).second) {
+    be_waiting_.push_back(stream);
+  }
+  PumpBestEffort();
+}
+
+void TgsBackend::PumpBestEffort() {
+  if (be_waiting_.empty() || be_timer_armed_) {
+    return;
+  }
+  const TimeNs now = sim_->Now();
+  if (now < be_earliest_launch_) {
+    be_timer_armed_ = true;
+    sim_->ScheduleAt(be_earliest_launch_, [this] {
+      be_timer_armed_ = false;
+      PumpBestEffort();
+    });
+    return;
+  }
+  Stream* s = be_waiting_.front();
+  be_waiting_.pop_front();
+  be_waiting_set_.erase(s);
+  if (s->HasDispatchableKernel()) {
+    SubmitWhole(s, engine_->spec().AllTpcs(), 1.0);
+    be_earliest_launch_ = now + be_gap_;
+  }
+}
+
+void TgsBackend::HandleHeadComplete(Stream* stream, const GrantInfo& info) {
+  (void)info;
+  // Recover the BE rate only when a BE kernel completes with the HP side
+  // fully idle — the controller's steady-arrival-rate assumption makes the
+  // decay deliberately sluggish (the weakness §7.1 calls out under bursty
+  // inference load).
+  if (!IsHighPriority(stream->client_id()) &&
+      InflightOfClass(PriorityClass::kHighPriority) == 0) {
+    be_gap_ = static_cast<DurationNs>(static_cast<double>(be_gap_) * kDecay);
+  }
+  stream->CompleteHead();
+  PumpBestEffort();
+}
+
+// --- Orion --------------------------------------------------------------------
+
+bool OrionBackend::Contends(const KernelDesc& be_kernel) const {
+  // A BE kernel contends when any in-flight HP kernel stresses the same
+  // dominant resource (compute vs memory bandwidth). Profiles come from the
+  // descriptor, standing in for Orion's offline profiling pass.
+  for (const auto& [stream, grant] : inflight_) {
+    if (!IsHighPriority(stream->client_id())) {
+      continue;
+    }
+    const LaunchRecord* head = stream->InFlightHead();
+    if (head == nullptr || head->kernel == nullptr) {
+      continue;
+    }
+    if (ComputeBound(be_kernel) == ComputeBound(*head->kernel)) {
+      return true;  // Same dominant resource: interference expected.
+    }
+  }
+  return false;
+}
+
+void OrionBackend::OnStreamReady(Stream* stream) {
+  if (IsHighPriority(stream->client_id())) {
+    SubmitWhole(stream, engine_->spec().AllTpcs(), 1.0);
+    return;
+  }
+  const KernelDesc& k = *stream->PeekHead().kernel;
+  if (InflightOfClass(PriorityClass::kHighPriority) == 0 || !Contends(k)) {
+    SubmitWhole(stream, engine_->spec().AllTpcs(), 1.0);
+    return;
+  }
+  if (be_waiting_set_.insert(stream).second) {
+    be_waiting_.push_back(stream);
+  }
+}
+
+void OrionBackend::PumpBestEffort() {
+  for (size_t i = 0; i < be_waiting_.size();) {
+    Stream* s = be_waiting_[i];
+    if (!s->HasDispatchableKernel()) {
+      be_waiting_.erase(be_waiting_.begin() + static_cast<long>(i));
+      be_waiting_set_.erase(s);
+      continue;
+    }
+    const KernelDesc& k = *s->PeekHead().kernel;
+    if (InflightOfClass(PriorityClass::kHighPriority) == 0 || !Contends(k)) {
+      be_waiting_.erase(be_waiting_.begin() + static_cast<long>(i));
+      be_waiting_set_.erase(s);
+      SubmitWhole(s, engine_->spec().AllTpcs(), 1.0);
+      continue;
+    }
+    ++i;
+  }
+}
+
+void OrionBackend::HandleHeadComplete(Stream* stream, const GrantInfo& info) {
+  (void)info;
+  stream->CompleteHead();
+  PumpBestEffort();
+}
+
+}  // namespace lithos

@@ -1,0 +1,34 @@
+// Lightweight invariant-checking macros.
+//
+// Simulation code is deterministic; a violated invariant is a programming
+// error, so we abort with a message rather than propagate an error value.
+#ifndef LITHOS_COMMON_CHECK_H_
+#define LITHOS_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lithos::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace lithos::internal
+
+#define LITHOS_CHECK(expr)                                   \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::lithos::internal::CheckFail(__FILE__, __LINE__, #expr); \
+    }                                                        \
+  } while (0)
+
+#define LITHOS_CHECK_GE(a, b) LITHOS_CHECK((a) >= (b))
+#define LITHOS_CHECK_GT(a, b) LITHOS_CHECK((a) > (b))
+#define LITHOS_CHECK_LE(a, b) LITHOS_CHECK((a) <= (b))
+#define LITHOS_CHECK_LT(a, b) LITHOS_CHECK((a) < (b))
+#define LITHOS_CHECK_EQ(a, b) LITHOS_CHECK((a) == (b))
+#define LITHOS_CHECK_NE(a, b) LITHOS_CHECK((a) != (b))
+
+#endif  // LITHOS_COMMON_CHECK_H_

@@ -1,0 +1,71 @@
+#include "src/common/stats.h"
+
+namespace lithos {
+
+LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {
+  LITHOS_CHECK_EQ(xs.size(), ys.size());
+  LineFit fit;
+  fit.n = xs.size();
+  if (xs.empty()) {
+    return fit;
+  }
+
+  double sx = 0, sy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double n = static_cast<double>(xs.size());
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+
+  if (sxx <= 0) {
+    // All x identical: flat line through the mean.
+    fit.slope = 0;
+    fit.intercept = my;
+    fit.r_squared = syy <= 0 ? 1.0 : 0.0;
+    return fit;
+  }
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  if (syy <= 0) {
+    fit.r_squared = 1.0;
+  } else {
+    double ss_res = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      const double pred = fit.slope * xs[i] + fit.intercept;
+      ss_res += (ys[i] - pred) * (ys[i] - pred);
+    }
+    fit.r_squared = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+ScalingFit FitInverseScaling(const std::vector<double>& tpcs, const std::vector<double>& latency) {
+  LITHOS_CHECK_EQ(tpcs.size(), latency.size());
+  std::vector<double> inv(tpcs.size());
+  for (size_t i = 0; i < tpcs.size(); ++i) {
+    LITHOS_CHECK_GT(tpcs[i], 0);
+    inv[i] = 1.0 / tpcs[i];
+  }
+  const LineFit line = FitLine(inv, latency);
+  ScalingFit fit;
+  fit.n = line.n;
+  fit.r_squared = line.r_squared;
+  fit.m = std::max(0.0, line.slope);
+  fit.b = std::max(0.0, line.intercept);
+  return fit;
+}
+
+}  // namespace lithos

@@ -1,0 +1,149 @@
+// Statistics utilities: streaming moments, exact percentile digests, and a
+// simple least-squares line fit used by the right-sizer and DVFS models.
+#ifndef LITHOS_COMMON_STATS_H_
+#define LITHOS_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace lithos {
+
+// Welford-style streaming mean/variance with min/max tracking.
+class StreamingStats {
+ public:
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = count_ == 1 ? x : std::min(min_, x);
+    max_ = count_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Exact percentile digest. Experiments record at most a few million samples,
+// so keeping the raw values and sorting lazily is both simplest and exact —
+// important when reproducing P99 tail-latency figures.
+class PercentileDigest {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // q in [0, 100]. Uses nearest-rank on the sorted samples.
+  double Percentile(double q) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    EnsureSorted();
+    const double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  }
+
+  double Median() const { return Percentile(50); }
+  double P95() const { return Percentile(95); }
+  double P99() const { return Percentile(99); }
+  double Max() const { return Percentile(100); }
+
+  double Mean() const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    double s = 0;
+    for (double x : samples_) {
+      s += x;
+    }
+    return s / static_cast<double>(samples_.size());
+  }
+
+  // Fraction of samples <= threshold; used for SLO attainment.
+  double FractionAtOrBelow(double threshold) const {
+    if (samples_.empty()) {
+      return 1.0;
+    }
+    size_t n = 0;
+    for (double x : samples_) {
+      if (x <= threshold) {
+        ++n;
+      }
+    }
+    return static_cast<double>(n) / static_cast<double>(samples_.size());
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Result of a least-squares fit of y = slope * x + intercept.
+struct LineFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 1.0;
+  size_t n = 0;
+};
+
+// Ordinary least squares over (x, y) pairs. With fewer than two distinct x
+// values the fit degenerates to a flat line through the mean.
+LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Fits the paper's kernel-scaling law l = m/t + b by substituting x = 1/t and
+// fitting a line: slope = m, intercept = b (Section 4.5 of the paper).
+// Negative coefficients are clamped to zero, matching the physical
+// interpretation (m = parallelisable work, b = serial floor).
+struct ScalingFit {
+  double m = 0;   // parallel work coefficient (ns * TPCs)
+  double b = 0;   // serial floor (ns)
+  double r_squared = 1.0;
+  size_t n = 0;
+
+  double Latency(double tpcs) const { return m / tpcs + b; }
+};
+
+ScalingFit FitInverseScaling(const std::vector<double>& tpcs, const std::vector<double>& latency);
+
+}  // namespace lithos
+
+#endif  // LITHOS_COMMON_STATS_H_

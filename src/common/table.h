@@ -1,0 +1,35 @@
+// Console table printer used by the benchmark harnesses to emit the rows and
+// series of each paper figure/table in a readable, diffable format.
+#ifndef LITHOS_COMMON_TABLE_H_
+#define LITHOS_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace lithos {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends a row; cells beyond the header count are dropped, missing cells
+  // render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment and a separator under the header.
+  std::string ToString() const;
+
+  // Prints to stdout.
+  void Print() const;
+
+  // Formats a double with the given precision, trimming to a compact string.
+  static std::string Num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lithos
+
+#endif  // LITHOS_COMMON_TABLE_H_

@@ -1,0 +1,22 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace lithos {
+
+std::string FormatDuration(DurationNs d) {
+  char buf[64];
+  const double abs = d < 0 ? static_cast<double>(-d) : static_cast<double>(d);
+  if (abs >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(d) / kSecond);
+  } else if (abs >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(d) / kMillisecond);
+  } else if (abs >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(d) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace lithos

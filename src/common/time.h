@@ -1,0 +1,43 @@
+// Time representation for the LithOS simulation substrate.
+//
+// All simulated time is kept in signed 64-bit nanoseconds. A signed type is
+// deliberate: subtracting two timestamps is common in scheduler arithmetic and
+// must not silently wrap.
+#ifndef LITHOS_COMMON_TIME_H_
+#define LITHOS_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace lithos {
+
+// Simulated time in nanoseconds since simulation start.
+using TimeNs = int64_t;
+
+// Duration in nanoseconds.
+using DurationNs = int64_t;
+
+inline constexpr DurationNs kNanosecond = 1;
+inline constexpr DurationNs kMicrosecond = 1'000;
+inline constexpr DurationNs kMillisecond = 1'000'000;
+inline constexpr DurationNs kSecond = 1'000'000'000;
+inline constexpr DurationNs kMinute = 60 * kSecond;
+
+// Largest representable time; used as an "infinitely far in the future"
+// sentinel for idle timers.
+inline constexpr TimeNs kTimeInfinity = INT64_MAX;
+
+constexpr double ToSeconds(DurationNs d) { return static_cast<double>(d) / kSecond; }
+constexpr double ToMillis(DurationNs d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double ToMicros(DurationNs d) { return static_cast<double>(d) / kMicrosecond; }
+
+constexpr DurationNs FromSeconds(double s) { return static_cast<DurationNs>(s * kSecond); }
+constexpr DurationNs FromMillis(double ms) { return static_cast<DurationNs>(ms * kMillisecond); }
+constexpr DurationNs FromMicros(double us) { return static_cast<DurationNs>(us * kMicrosecond); }
+
+// Human-readable rendering, e.g. "12.5ms" or "340us", for logs and tables.
+std::string FormatDuration(DurationNs d);
+
+}  // namespace lithos
+
+#endif  // LITHOS_COMMON_TIME_H_

@@ -1,0 +1,114 @@
+// TPC Scheduler allocation state (paper Section 4.3).
+//
+// LithOS manages TPCs the way a traditional OS manages CPU cores. Each client
+// may hold a *quota*: a home region of TPCs guaranteed to it whenever it has
+// work. Unclaimed TPCs form a free pool. TPC Stealing lends idle TPCs —
+// foreign home TPCs whose owner is not asking for them — to whoever has work,
+// raising utilization without giving up isolation:
+//
+//   * per-TPC busy-until timers (fed by the latency predictor) record when
+//     each TPC is expected to free, so the dispatcher can tell idle from
+//     long-running TPCs;
+//   * when an owner has waiting work but finds its home TPCs stolen, it
+//     flags them for *reclaim*: thieves' subsequent atoms exclude flagged
+//     TPCs, so the owner waits at most one atom duration (Fig. 9c);
+//   * best-effort clients may steal only when no high-priority client is
+//     waiting, preventing priority inversion.
+//
+// This class is pure allocation bookkeeping (no simulation callbacks), which
+// keeps it independently unit-testable; LithosBackend drives it.
+#ifndef LITHOS_CORE_TPC_SCHEDULER_H_
+#define LITHOS_CORE_TPC_SCHEDULER_H_
+
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/core/config.h"
+#include "src/driver/client.h"
+#include "src/gpu/gpu_spec.h"
+
+namespace lithos {
+
+struct TpcSchedulerStats {
+  uint64_t acquisitions = 0;
+  uint64_t tpcs_granted = 0;
+  uint64_t tpcs_stolen = 0;    // granted TPCs that were foreign home TPCs
+  uint64_t reclaim_requests = 0;
+  uint64_t failed_acquisitions = 0;  // Acquire returned an empty mask
+};
+
+class TpcScheduler {
+ public:
+  TpcScheduler(const GpuSpec& spec, const LithosConfig& config);
+
+  // Registers a client and carves its home region (next-fit from TPC 0).
+  // Quotas beyond the remaining capacity are truncated.
+  void RegisterClient(int client_id, PriorityClass priority, int quota);
+
+  // Grants up to `desired` TPCs to `client_id`, preferring its home region,
+  // then the free pool, then stealing. Sets busy-until timers to
+  // now + predicted for every granted TPC. May return fewer than desired,
+  // including an empty mask when nothing is available.
+  TpcMask Acquire(int client_id, int desired, TimeNs now, DurationNs predicted);
+
+  // Returns TPCs to the idle state.
+  void Release(const TpcMask& mask, TimeNs now);
+
+  // The owner has waiting work: flag its stolen home TPCs so thieves vacate
+  // at the next atom boundary.
+  void RequestReclaim(int client_id);
+
+  // Dispatcher hint used for steal eligibility.
+  void SetClientWaiting(int client_id, bool waiting);
+  bool AnyHighPriorityWaiting() const;
+
+  // Dispatcher hint: the client currently has work on the device (in-flight
+  // atoms). Stealing from an *active* owner is limited to the owner's idle
+  // headroom — home TPCs beyond the owner's recent per-kernel demand — so the
+  // owner's next kernel still finds its full allocation free. An *inactive*
+  // owner's whole home region is up for grabs. Together with the reclaim
+  // flags this plays the role of the paper's per-TPC busy timers:
+  // distinguishing "idle" from "between two kernels of a running job".
+  void SetClientActive(int client_id, bool active);
+
+  // Recent per-kernel TPC demand of a client (fast-rising, slowly decaying
+  // maximum of the `desired` values passed to Acquire).
+  double ClientDemand(int client_id) const;
+
+  // --- Introspection --------------------------------------------------------
+  int HomeQuota(int client_id) const;
+  TpcMask HomeMask(int client_id) const;
+  int FreeTpcs() const;                      // TPCs with no occupant
+  int FreeHomeTpcs(int client_id) const;     // idle TPCs in own home region
+  int OccupantOf(int tpc) const { return occupant_[tpc]; }
+  TimeNs BusyUntil(int tpc) const { return busy_until_[tpc]; }
+  bool IsReclaimFlagged(int tpc) const { return reclaim_[tpc]; }
+  const TpcSchedulerStats& stats() const { return stats_; }
+
+ private:
+  struct ClientState {
+    PriorityClass priority = PriorityClass::kBestEffort;
+    TpcMask home;
+    bool waiting = false;
+    bool active = false;   // has in-flight work on the device
+    double demand = 0;     // recent max of desired TPCs per kernel
+  };
+
+  bool StealAllowed(int thief, int tpc) const;
+
+  GpuSpec spec_;
+  LithosConfig config_;
+  std::array<int, kMaxTpcs> home_owner_;   // -1 = free pool
+  std::array<int, kMaxTpcs> occupant_;     // -1 = idle
+  std::array<TimeNs, kMaxTpcs> busy_until_;
+  std::array<bool, kMaxTpcs> reclaim_;
+  std::unordered_map<int, ClientState> clients_;
+  int next_home_tpc_ = 0;
+  TpcSchedulerStats stats_;
+};
+
+}  // namespace lithos
+
+#endif  // LITHOS_CORE_TPC_SCHEDULER_H_

@@ -1,0 +1,48 @@
+// Scheduling-backend interface.
+//
+// A Backend is the policy layer between the driver shim and the execution
+// engine: LithOS itself and every comparison system (MPS, MIG, time slicing,
+// stream Priority, thread Limits, REEF, TGS, Orion) implement this interface,
+// so all nine run over identical driver semantics and identical ground-truth
+// GPU physics — the apples-to-apples setup of Section 7.
+#ifndef LITHOS_DRIVER_BACKEND_H_
+#define LITHOS_DRIVER_BACKEND_H_
+
+#include <string>
+
+#include "src/gpu/execution_engine.h"
+#include "src/sim/simulator.h"
+
+namespace lithos {
+
+class Stream;
+struct Client;
+
+class Backend {
+ public:
+  Backend(Simulator* sim, ExecutionEngine* engine) : sim_(sim), engine_(engine) {}
+  virtual ~Backend() = default;
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  virtual std::string Name() const = 0;
+
+  // A kernel is now at the dispatchable head of `stream`. The backend may
+  // claim and submit it immediately or remember the stream for later.
+  virtual void OnStreamReady(Stream* stream) = 0;
+
+  // A client registered with the driver; backends that partition resources
+  // (MIG, Limits, LithOS quotas) carve their allocations here.
+  virtual void OnClientRegistered(const Client& client) { (void)client; }
+
+  // Experiment-harness hook: drop any state accumulated during warm-up.
+  virtual void ResetAccounting() {}
+
+ protected:
+  Simulator* sim_;
+  ExecutionEngine* engine_;
+};
+
+}  // namespace lithos
+
+#endif  // LITHOS_DRIVER_BACKEND_H_

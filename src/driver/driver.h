@@ -1,0 +1,70 @@
+// Driver shim: the LithOS reproduction's stand-in for the interposed CUDA
+// Driver API (Section 5, "Interposition Architecture").
+//
+// Applications (workload generators) call the Cu*-style methods below exactly
+// as real applications call cuStreamCreate / cuLaunchKernel /
+// cuLaunchHostFunc. The driver buffers work in per-stream FIFOs and notifies
+// the installed scheduling backend, which decides when and where each kernel
+// runs. Nothing in the workload layer can bypass the backend — the same
+// transparency property the paper's interposition library provides.
+#ifndef LITHOS_DRIVER_DRIVER_H_
+#define LITHOS_DRIVER_DRIVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/driver/backend.h"
+#include "src/driver/client.h"
+#include "src/driver/stream.h"
+#include "src/gpu/execution_engine.h"
+#include "src/sim/simulator.h"
+
+namespace lithos {
+
+class Driver {
+ public:
+  Driver(Simulator* sim, ExecutionEngine* engine);
+
+  // Installs the scheduling backend. Must be called before any launches.
+  void SetBackend(Backend* backend);
+  Backend* backend() const { return backend_; }
+
+  Simulator* sim() const { return sim_; }
+  ExecutionEngine* engine() const { return engine_; }
+
+  // --- Application-facing API (mirrors the CUDA Driver API) ----------------
+
+  // cuCtxCreate: registers an application context.
+  Client* CuCtxCreate(const std::string& name, PriorityClass priority, int tpc_quota = 0,
+                      double memory_gib = 0);
+
+  // cuStreamCreate.
+  Stream* CuStreamCreate(Client* client, StreamPriority priority = StreamPriority::kNormal);
+
+  // cuLaunchKernel: asynchronous; enqueues and returns immediately.
+  void CuLaunchKernel(Stream* stream, const KernelDesc* kernel);
+
+  // cuLaunchHostFunc / cuEventRecord + host callback: fires `cb` once all
+  // previously enqueued work on the stream has completed.
+  void CuStreamAddCallback(Stream* stream, std::function<void()> cb);
+
+  const std::vector<std::unique_ptr<Client>>& clients() const { return clients_; }
+  const std::vector<std::unique_ptr<Stream>>& streams() const { return streams_; }
+
+  uint64_t launches_issued() const { return next_launch_id_ - 1; }
+
+ private:
+  friend class Stream;
+
+  Simulator* sim_;
+  ExecutionEngine* engine_;
+  Backend* backend_ = nullptr;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  uint64_t next_launch_id_ = 1;
+};
+
+}  // namespace lithos
+
+#endif  // LITHOS_DRIVER_DRIVER_H_

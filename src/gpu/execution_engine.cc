@@ -1,0 +1,368 @@
+#include "src/gpu/execution_engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+
+namespace lithos {
+
+namespace {
+// Progress is a double in [0,1]; values within this epsilon of 1 count as
+// finished, absorbing floating-point drift from repeated checkpointing.
+constexpr double kProgressEpsilon = 1e-9;
+}  // namespace
+
+ExecutionEngine::ExecutionEngine(Simulator* sim, const GpuSpec& spec)
+    : sim_(sim),
+      spec_(spec),
+      current_mhz_(spec.max_mhz),
+      desired_mhz_(spec.max_mhz),
+      last_account_(sim->Now()) {}
+
+double ExecutionEngine::EffectiveTpcs(const Grant& g) const {
+  double effective = 0;
+  const double w = g.item.share_weight;
+  for (int t = 0; t < spec_.TotalTpcs(); ++t) {
+    if (g.mask.test(t)) {
+      LITHOS_CHECK_GT(sharers_[t], 0);
+      effective += w / share_weight_[t];
+    }
+  }
+  return effective;
+}
+
+double ExecutionEngine::CurrentLatencyNs(const Grant& g) const {
+  const KernelDesc& k = *g.item.kernel;
+  const uint32_t lo = g.item.block_lo;
+  const uint32_t hi = g.item.block_hi == 0 ? k.NumBlocks() : g.item.block_hi;
+  const double effective = std::max(EffectiveTpcs(g), 1e-6);
+  double lat = static_cast<double>(k.RangeLatencyNs(spec_, lo, hi, effective, current_mhz_));
+
+  // Intra-SM co-residency contention: average foreign share-weight fraction
+  // across the grant's TPCs, discounted by the kernel's own device-filling
+  // ability (see GpuSpec::coresidency_penalty).
+  const double foreign = ForeignShareFraction(g);
+  if (foreign > 0) {
+    const double own_span =
+        std::min(1.0, static_cast<double>(k.MaxUsefulTpcs(spec_)) /
+                          static_cast<double>(spec_.TotalTpcs()));
+    // Quadratic in the foreign fraction: a kernel that retains most of the
+    // issue bandwidth (e.g. hardware stream priority boosts its share) hides
+    // contention much better than one swamped by foreign blocks.
+    lat *= 1.0 + spec_.coresidency_penalty * foreign * foreign * (1.0 - own_span);
+  }
+
+  lat += static_cast<double>(g.item.extra_overhead_ns);
+  return std::max(lat, 1.0);
+}
+
+double ExecutionEngine::ForeignShareFraction(const Grant& g) const {
+  const double w = g.item.share_weight;
+  double sum = 0;
+  int n = 0;
+  for (int t = 0; t < spec_.TotalTpcs(); ++t) {
+    if (g.mask.test(t)) {
+      ++n;
+      if (share_weight_[t] > w) {
+        sum += (share_weight_[t] - w) / share_weight_[t];
+      }
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+void ExecutionEngine::CheckpointAll() {
+  const TimeNs now = sim_->Now();
+  const double dt = static_cast<double>(now - last_account_);
+  if (dt > 0) {
+    // Progress.
+    for (auto& [id, g] : grants_) {
+      if (g.paused) {
+        continue;
+      }
+      const double elapsed = static_cast<double>(now - g.last_checkpoint);
+      if (elapsed > 0) {
+        g.progress = std::min(1.0, g.progress + elapsed / CurrentLatencyNs(g));
+      }
+      g.last_checkpoint = now;
+    }
+
+    // Power & capacity integrals.
+    int busy = 0;
+    for (int t = 0; t < spec_.TotalTpcs(); ++t) {
+      if (sharers_[t] > 0) {
+        ++busy;
+      }
+    }
+    const double dt_s = dt / static_cast<double>(kSecond);
+    const double f_ratio = static_cast<double>(current_mhz_) / static_cast<double>(spec_.max_mhz);
+    const double idle_j = spec_.idle_power_w *
+                          (spec_.idle_freq_floor + (1.0 - spec_.idle_freq_floor) * f_ratio) * dt_s;
+    stats_.energy_joules += InstantPowerW() * dt_s;
+    stats_.idle_energy_joules += idle_j;
+    stats_.busy_tpc_seconds += static_cast<double>(busy) * dt_s;
+    stats_.elapsed_seconds += dt_s;
+    for (const auto& [id, g] : grants_) {
+      if (!g.paused) {
+        stats_.allocated_tpc_seconds[g.item.client_id] +=
+            static_cast<double>(g.mask.count()) * dt_s;
+      }
+    }
+    last_account_ = now;
+  } else {
+    // Zero elapsed time: still stamp checkpoints so later math is anchored.
+    for (auto& [id, g] : grants_) {
+      g.last_checkpoint = now;
+    }
+  }
+}
+
+double ExecutionEngine::InstantPowerW() const {
+  int busy = 0;
+  for (int t = 0; t < spec_.TotalTpcs(); ++t) {
+    if (sharers_[t] > 0) {
+      ++busy;
+    }
+  }
+  const double busy_frac = static_cast<double>(busy) / static_cast<double>(spec_.TotalTpcs());
+  const double f_ratio = static_cast<double>(current_mhz_) / static_cast<double>(spec_.max_mhz);
+  const double idle_scale = spec_.idle_freq_floor + (1.0 - spec_.idle_freq_floor) * f_ratio;
+  return spec_.idle_power_w * idle_scale +
+         spec_.dynamic_power_w * busy_frac * std::pow(f_ratio, spec_.freq_power_exponent);
+}
+
+void ExecutionEngine::RescheduleGrant(Grant& g) {
+  if (g.completion_event != 0) {
+    sim_->Cancel(g.completion_event);
+    g.completion_event = 0;
+  }
+  if (g.paused) {
+    return;
+  }
+  const double remaining = (1.0 - g.progress) * CurrentLatencyNs(g);
+  const TimeNs finish =
+      sim_->Now() + std::max<DurationNs>(0, static_cast<DurationNs>(std::ceil(remaining)));
+  const GrantId id = g.id;
+  g.completion_event = sim_->ScheduleAt(finish, [this, id] { OnGrantFinished(id); });
+}
+
+void ExecutionEngine::RescheduleAll() {
+  for (auto& [id, g] : grants_) {
+    RescheduleGrant(g);
+  }
+}
+
+void ExecutionEngine::AddToTpcs(const Grant& g) {
+  for (int t = 0; t < spec_.TotalTpcs(); ++t) {
+    if (g.mask.test(t)) {
+      ++sharers_[t];
+      share_weight_[t] += g.item.share_weight;
+    }
+  }
+}
+
+void ExecutionEngine::RemoveFromTpcs(const Grant& g) {
+  for (int t = 0; t < spec_.TotalTpcs(); ++t) {
+    if (g.mask.test(t)) {
+      LITHOS_CHECK_GT(sharers_[t], 0);
+      --sharers_[t];
+      share_weight_[t] -= g.item.share_weight;
+      if (sharers_[t] == 0) {
+        share_weight_[t] = 0;  // Clear accumulated floating-point residue.
+      }
+    }
+  }
+}
+
+GrantId ExecutionEngine::Launch(WorkItem item, const TpcMask& mask) {
+  LITHOS_CHECK(item.kernel != nullptr);
+  LITHOS_CHECK_GT(mask.count(), 0u);
+
+  CheckpointAll();
+
+  const GrantId id = next_grant_id_++;
+  Grant g;
+  g.id = id;
+  g.item = std::move(item);
+  g.mask = mask;
+  g.submit_time = sim_->Now();
+  g.start_time = sim_->Now();
+  g.last_checkpoint = sim_->Now();
+  g.freq_at_start = current_mhz_;
+
+  AddToTpcs(g);
+  grants_.emplace(id, std::move(g));
+  // Sharing ratios changed for everyone overlapping this mask; with few
+  // concurrent grants a global reschedule is cheap and simplest.
+  RescheduleAll();
+  return id;
+}
+
+void ExecutionEngine::Pause(GrantId id) {
+  auto it = grants_.find(id);
+  LITHOS_CHECK(it != grants_.end());
+  Grant& g = it->second;
+  LITHOS_CHECK(!g.paused);
+
+  CheckpointAll();
+  RemoveFromTpcs(g);
+  g.paused = true;
+  RescheduleAll();
+}
+
+void ExecutionEngine::Resume(GrantId id, const TpcMask& mask) {
+  auto it = grants_.find(id);
+  LITHOS_CHECK(it != grants_.end());
+  Grant& g = it->second;
+  LITHOS_CHECK(g.paused);
+  LITHOS_CHECK_GT(mask.count(), 0u);
+
+  CheckpointAll();
+  g.mask = mask;
+  g.paused = false;
+  AddToTpcs(g);
+  RescheduleAll();
+}
+
+void ExecutionEngine::Reassign(GrantId id, const TpcMask& mask) {
+  auto it = grants_.find(id);
+  LITHOS_CHECK(it != grants_.end());
+  Grant& g = it->second;
+  LITHOS_CHECK_GT(mask.count(), 0u);
+
+  CheckpointAll();
+  if (!g.paused) {
+    RemoveFromTpcs(g);
+  }
+  g.mask = mask;
+  if (!g.paused) {
+    AddToTpcs(g);
+  }
+  RescheduleAll();
+}
+
+WorkItem ExecutionEngine::Abort(GrantId id) {
+  auto it = grants_.find(id);
+  LITHOS_CHECK(it != grants_.end());
+
+  CheckpointAll();
+  Grant g = std::move(it->second);
+  grants_.erase(it);
+  if (!g.paused) {
+    RemoveFromTpcs(g);
+  }
+  if (g.completion_event != 0) {
+    sim_->Cancel(g.completion_event);
+  }
+  ++stats_.grants_aborted;
+  RescheduleAll();
+  return std::move(g.item);
+}
+
+void ExecutionEngine::OnGrantFinished(GrantId id) {
+  auto it = grants_.find(id);
+  if (it == grants_.end()) {
+    return;  // Raced with Abort.
+  }
+
+  CheckpointAll();
+  Grant& g = it->second;
+  if (g.progress < 1.0 - kProgressEpsilon) {
+    // Conditions changed since this event was scheduled; not actually done.
+    RescheduleGrant(g);
+    return;
+  }
+
+  GrantInfo info;
+  info.id = g.id;
+  info.client_id = g.item.client_id;
+  info.stream_tag = g.item.stream_tag;
+  info.kernel = g.item.kernel;
+  info.block_lo = g.item.block_lo;
+  info.block_hi = g.item.block_hi == 0 ? g.item.kernel->NumBlocks() : g.item.block_hi;
+  info.submit_time = g.submit_time;
+  info.start_time = g.start_time;
+  info.end_time = sim_->Now();
+  info.allocated_tpcs = static_cast<int>(g.mask.count());
+  info.freq_mhz_at_start = g.freq_at_start;
+
+  std::function<void(const GrantInfo&)> cb = std::move(g.item.on_complete);
+  RemoveFromTpcs(g);
+  grants_.erase(it);
+  ++stats_.grants_completed;
+  RescheduleAll();
+
+  // The callback runs after engine state is consistent; it typically launches
+  // the next kernel in the stream.
+  if (cb) {
+    cb(info);
+  }
+}
+
+TpcMask ExecutionEngine::BusyMask() const {
+  TpcMask mask;
+  for (int t = 0; t < spec_.TotalTpcs(); ++t) {
+    if (sharers_[t] > 0) {
+      mask.set(t);
+    }
+  }
+  return mask;
+}
+
+int ExecutionEngine::NumRunningGrants() const {
+  int n = 0;
+  for (const auto& [id, g] : grants_) {
+    if (!g.paused) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<int> ExecutionEngine::ActiveClients() const {
+  std::vector<int> clients;
+  for (const auto& [id, g] : grants_) {
+    if (!g.paused && std::find(clients.begin(), clients.end(), g.item.client_id) == clients.end()) {
+      clients.push_back(g.item.client_id);
+    }
+  }
+  return clients;
+}
+
+void ExecutionEngine::RequestFrequencyMhz(int mhz) {
+  const int clamped = spec_.ClampFrequency(mhz);
+  desired_mhz_ = clamped;
+  if (clamped == current_mhz_ && switch_event_ == 0) {
+    return;
+  }
+  if (switch_event_ != 0) {
+    return;  // A switch is in flight; it will apply the latest desired state.
+  }
+  switch_event_ = sim_->ScheduleAfter(spec_.freq_switch_latency, [this] {
+    CheckpointAll();
+    switch_event_ = 0;
+    if (current_mhz_ != desired_mhz_) {
+      current_mhz_ = desired_mhz_;
+      RescheduleAll();
+      // The desired state may have moved again while switching.
+      if (desired_mhz_ != current_mhz_) {
+        RequestFrequencyMhz(desired_mhz_);
+      }
+    }
+  });
+}
+
+const EngineStats& ExecutionEngine::Stats() {
+  CheckpointAll();
+  RescheduleAll();
+  return stats_;
+}
+
+void ExecutionEngine::ResetStats() {
+  CheckpointAll();
+  RescheduleAll();
+  stats_ = EngineStats{};
+}
+
+}  // namespace lithos

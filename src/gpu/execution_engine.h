@@ -1,0 +1,200 @@
+// Work-progress execution engine: the ground-truth physics of the simulated
+// GPU that every scheduling system (LithOS and all eight baselines) runs on.
+//
+// A *grant* is a kernel (or atom: a contiguous thread-block range) executing
+// on a set of TPCs. Each grant progresses at rate 1/l where l is its
+// ground-truth latency under the grant's *effective* TPC allocation and the
+// device's current clock. TPCs may be shared by multiple grants (this is how
+// MPS-style concurrency is expressed): a TPC contributes 1/n of itself to
+// each of its n resident grants. Any change — launch, completion, pause,
+// abort, reassignment, or a DVFS transition — checkpoints the progress of
+// every active grant and recomputes finish times.
+//
+// This one substrate expresses:
+//   * exclusive spatial allocation  (LithOS, MIG, thread Limits)
+//   * processor sharing             (MPS)
+//   * temporal preemption           (time slicing: Pause/Resume keep progress)
+//   * reset-based preemption        (REEF: Abort discards progress)
+//
+// The engine also integrates power and allocation accounting so the
+// right-sizing (Fig. 17) and DVFS (Fig. 18) experiments read energy and
+// capacity directly from the same clockwork.
+#ifndef LITHOS_GPU_EXECUTION_ENGINE_H_
+#define LITHOS_GPU_EXECUTION_ENGINE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/gpu/gpu_spec.h"
+#include "src/gpu/kernel.h"
+#include "src/sim/simulator.h"
+
+namespace lithos {
+
+using GrantId = uint64_t;
+inline constexpr GrantId kInvalidGrant = 0;
+
+// Completed-grant notification payload.
+struct GrantInfo {
+  GrantId id = kInvalidGrant;
+  int client_id = 0;
+  uint64_t stream_tag = 0;
+  const KernelDesc* kernel = nullptr;
+  uint32_t block_lo = 0;
+  uint32_t block_hi = 0;
+  TimeNs submit_time = 0;
+  TimeNs start_time = 0;
+  TimeNs end_time = 0;
+  int allocated_tpcs = 0;
+  int freq_mhz_at_start = 0;
+
+  DurationNs Duration() const { return end_time - start_time; }
+};
+
+// A unit of work handed to the engine by a scheduling backend.
+struct WorkItem {
+  const KernelDesc* kernel = nullptr;  // not owned; outlives the grant
+  uint32_t block_lo = 0;               // [block_lo, block_hi); 0/0 = full grid
+  uint32_t block_hi = 0;
+  int client_id = 0;
+  uint64_t stream_tag = 0;
+  // Fixed launch/prelude overhead added to the grant latency; the Kernel
+  // Atomizer charges its prelude cost here.
+  DurationNs extra_overhead_ns = 0;
+  // Relative weight when sharing TPCs with other grants: a TPC hosting grants
+  // with weights {w_i} gives grant i a w_i / sum(w) share. Hardware stream
+  // priority (the Priority baseline) is modelled as a larger weight for
+  // high-priority grants; plain MPS uses equal weights.
+  double share_weight = 1.0;
+  std::function<void(const GrantInfo&)> on_complete;
+};
+
+// Cumulative accounting snapshot.
+struct EngineStats {
+  double energy_joules = 0;
+  double busy_tpc_seconds = 0;      // integral of |busy TPCs| over time
+  double elapsed_seconds = 0;       // wall-clock covered by the integrals
+  double idle_energy_joules = 0;    // idle-power component of energy
+  uint64_t grants_completed = 0;
+  uint64_t grants_aborted = 0;
+  // Per-client integral of allocated (not effective) TPC-seconds; capacity
+  // savings in Fig. 17 compare these between right-sized and full runs.
+  std::map<int, double> allocated_tpc_seconds;
+};
+
+class ExecutionEngine {
+ public:
+  ExecutionEngine(Simulator* sim, const GpuSpec& spec);
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+  const GpuSpec& spec() const { return spec_; }
+
+  // --- Grant lifecycle -----------------------------------------------------
+
+  // Begins executing `item` on `mask` immediately. The mask may overlap other
+  // grants' masks (sharing). An empty block range means the full grid.
+  GrantId Launch(WorkItem item, const TpcMask& mask);
+
+  // Suspends a grant, preserving progress and releasing its TPCs.
+  void Pause(GrantId id);
+
+  // Resumes a paused grant on a (possibly different) TPC set.
+  void Resume(GrantId id, const TpcMask& mask);
+
+  // Moves a running grant onto a different TPC set without losing progress.
+  void Reassign(GrantId id, const TpcMask& mask);
+
+  // Terminates a grant. The completion callback is NOT invoked. Returns the
+  // original work item so reset-style schedulers (REEF) can relaunch it from
+  // scratch; accumulated progress is discarded.
+  WorkItem Abort(GrantId id);
+
+  bool IsActive(GrantId id) const { return grants_.count(id) > 0; }
+
+  // --- Device state --------------------------------------------------------
+
+  // TPCs with at least one running (non-paused) grant.
+  TpcMask BusyMask() const;
+  int NumRunningGrants() const;
+  // Number of running grants whose mask includes `tpc`.
+  int SharersOn(int tpc) const { return sharers_[tpc]; }
+  // Clients with at least one running grant.
+  std::vector<int> ActiveClients() const;
+
+  // --- DVFS ----------------------------------------------------------------
+
+  // Requests a clock change; takes effect after spec().freq_switch_latency.
+  // Repeated requests coalesce (the most recent target wins).
+  void RequestFrequencyMhz(int mhz);
+  int CurrentFrequencyMhz() const { return current_mhz_; }
+  int TargetFrequencyMhz() const { return desired_mhz_; }
+  bool FrequencySwitchInFlight() const { return switch_event_ != 0; }
+
+  // --- Accounting ----------------------------------------------------------
+
+  // Flushes the power/allocation integrals up to Now() and returns them.
+  const EngineStats& Stats();
+
+  // Clears the integrals (used by harnesses to discard warm-up).
+  void ResetStats();
+
+  // Instantaneous power draw at current state (W).
+  double InstantPowerW() const;
+
+ private:
+  struct Grant {
+    GrantId id;
+    WorkItem item;
+    TpcMask mask;
+    bool paused = false;
+    double progress = 0;          // fraction of work done, [0, 1]
+    TimeNs last_checkpoint = 0;
+    TimeNs submit_time = 0;
+    TimeNs start_time = 0;
+    int freq_at_start = 0;
+    EventId completion_event = 0;
+  };
+
+  // Effective TPCs a grant currently owns (sum of per-TPC shares).
+  double EffectiveTpcs(const Grant& g) const;
+  // Average foreign share-weight fraction across the grant's TPCs (0 when the
+  // grant runs alone on its mask).
+  double ForeignShareFraction(const Grant& g) const;
+  // Ground-truth latency of the grant's full work under current conditions.
+  double CurrentLatencyNs(const Grant& g) const;
+
+  // Folds elapsed time into every running grant's progress and into the
+  // power/allocation integrals. Must be called before any state mutation.
+  void CheckpointAll();
+  // Recomputes and reschedules completion events for all running grants.
+  void RescheduleAll();
+  void RescheduleGrant(Grant& g);
+  void OnGrantFinished(GrantId id);
+
+  void AddToTpcs(const Grant& g);
+  void RemoveFromTpcs(const Grant& g);
+
+  Simulator* sim_;
+  GpuSpec spec_;
+  std::unordered_map<GrantId, Grant> grants_;
+  std::array<int, kMaxTpcs> sharers_{};         // running (non-paused) grants per TPC
+  std::array<double, kMaxTpcs> share_weight_{};  // sum of share weights per TPC
+  GrantId next_grant_id_ = 1;
+
+  int current_mhz_;
+  int desired_mhz_;
+  EventId switch_event_ = 0;
+
+  TimeNs last_account_ = 0;
+  EngineStats stats_;
+};
+
+}  // namespace lithos
+
+#endif  // LITHOS_GPU_EXECUTION_ENGINE_H_

@@ -1,0 +1,51 @@
+#include "src/sim/simulator.h"
+
+namespace lithos {
+
+EventId Simulator::ScheduleAt(TimeNs at, std::function<void()> fn) {
+  LITHOS_CHECK_GE(at, now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    const Event ev = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      continue;  // Cancelled.
+    }
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    LITHOS_CHECK_GE(ev.at, now_);
+    now_ = ev.at;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::RunUntil(TimeNs deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (callbacks_.find(top.id) == callbacks_.end()) {
+      queue_.pop();  // Cancelled; drop without advancing the clock.
+      continue;
+    }
+    if (top.at > deadline) {
+      if (deadline != kTimeInfinity) {
+        now_ = deadline;
+      }
+      return;
+    }
+    Step();
+  }
+  if (deadline != kTimeInfinity && deadline > now_) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace lithos

@@ -1,0 +1,201 @@
+// Workload drivers: open-loop Poisson inference clients with Triton-style
+// dynamic batching, LLM serving from a prompt-length trace, and closed-loop
+// best-effort runners (training jobs and BE inference), matching the
+// experimental methodology of Section 6.
+#ifndef LITHOS_WORKLOADS_CLIENTS_H_
+#define LITHOS_WORKLOADS_CLIENTS_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/driver/driver.h"
+#include "src/workloads/model.h"
+#include "src/workloads/trace.h"
+
+namespace lithos {
+
+// --- Request accounting -----------------------------------------------------
+
+// End-to-end request statistics with warm-up support: samples recorded before
+// warmup_end are discarded so steady-state percentiles are unpolluted.
+class RequestRecorder {
+ public:
+  void SetWarmupEnd(TimeNs t) { warmup_end_ = t; }
+
+  void RecordArrival(TimeNs t) {
+    if (t >= warmup_end_) {
+      ++issued_;
+    }
+  }
+
+  void RecordCompletion(TimeNs arrival, TimeNs completion) {
+    if (arrival < warmup_end_) {
+      return;
+    }
+    ++completed_;
+    latency_ms_.Add(ToMillis(completion - arrival));
+    last_completion_ = completion;
+  }
+
+  uint64_t issued() const { return issued_; }
+  uint64_t completed() const { return completed_; }
+  const PercentileDigest& latency_ms() const { return latency_ms_; }
+
+  // Completed requests per second over [warmup_end, horizon].
+  double Throughput(TimeNs horizon) const {
+    const double secs = ToSeconds(horizon - warmup_end_);
+    return secs > 0 ? static_cast<double>(completed_) / secs : 0.0;
+  }
+
+  // Completions within `slo` per second (goodput, Fig. 14).
+  double Goodput(TimeNs horizon, DurationNs slo) const {
+    const double secs = ToSeconds(horizon - warmup_end_);
+    if (secs <= 0) {
+      return 0.0;
+    }
+    const double ok_frac = latency_ms_.FractionAtOrBelow(ToMillis(slo));
+    return ok_frac * static_cast<double>(completed_) / secs;
+  }
+
+  double SloAttainment(DurationNs slo) const {
+    return latency_ms_.empty() ? 1.0 : latency_ms_.FractionAtOrBelow(ToMillis(slo));
+  }
+
+ private:
+  TimeNs warmup_end_ = 0;
+  TimeNs last_completion_ = 0;
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+  PercentileDigest latency_ms_;
+};
+
+// --- Inference serving -------------------------------------------------------
+
+// Triton-style server for fixed models: requests queue, a batch launches when
+// it is full or the oldest request has waited max_queue_delay. One batch is
+// in flight at a time (one model instance on one stream).
+class BatchingInferenceServer {
+ public:
+  using ProfileFactory = std::function<ModelProfileRef(int batch)>;
+
+  BatchingInferenceServer(Driver* driver, Client* client, ProfileFactory factory, int max_batch,
+                          DurationNs max_queue_delay, RequestRecorder* recorder);
+
+  // Enqueues one request arriving now.
+  void Submit();
+
+  Stream* stream() const { return stream_; }
+
+ private:
+  void MaybeLaunch();
+  void LaunchBatch();
+
+  Driver* driver_;
+  Simulator* sim_;
+  Stream* stream_;
+  ProfileFactory factory_;
+  int max_batch_;
+  DurationNs max_queue_delay_;
+  RequestRecorder* recorder_;
+
+  std::deque<TimeNs> queue_;  // arrival times
+  bool busy_ = false;
+  EventId delay_timer_ = 0;
+  std::map<int, ModelProfileRef> profile_cache_;
+  // Profiles referenced by in-flight kernels must stay alive until drained.
+  std::vector<ModelProfileRef> retired_profiles_;
+};
+
+// LLM server: one request at a time, per-request profile from the trace.
+class LlmInferenceServer {
+ public:
+  using ShapeFactory = std::function<ModelProfileRef(const LlmRequestShape&)>;
+
+  LlmInferenceServer(Driver* driver, Client* client, ShapeFactory factory, uint64_t trace_seed,
+                     RequestRecorder* recorder);
+
+  void Submit();
+
+  Stream* stream() const { return stream_; }
+
+ private:
+  void MaybeLaunch();
+
+  Driver* driver_;
+  Simulator* sim_;
+  Stream* stream_;
+  ShapeFactory factory_;
+  AzureLlmTrace trace_;
+  RequestRecorder* recorder_;
+
+  std::deque<TimeNs> queue_;
+  bool busy_ = false;
+  std::vector<ModelProfileRef> retired_profiles_;
+};
+
+// --- Arrival processes ----------------------------------------------------------
+
+// Open-loop Poisson arrivals invoking `on_arrival` until the given horizon.
+class PoissonArrivals {
+ public:
+  PoissonArrivals(Simulator* sim, double rps, uint64_t seed, std::function<void()> on_arrival)
+      : sim_(sim), mean_gap_s_(1.0 / rps), rng_(seed), on_arrival_(std::move(on_arrival)) {}
+
+  void Start(TimeNs until);
+
+ private:
+  void ScheduleNext(TimeNs until);
+
+  Simulator* sim_;
+  double mean_gap_s_;
+  Rng rng_;
+  std::function<void()> on_arrival_;
+};
+
+// --- Closed-loop runner (BE training / BE inference) ------------------------------
+
+// Runs the profile back to back forever: the paper's best-effort tasks
+// "execute in a closed loop" / "run continuously".
+class ClosedLoopRunner {
+ public:
+  ClosedLoopRunner(Driver* driver, Client* client, ModelProfileRef profile);
+
+  void Start();
+  void Stop() { stopped_ = true; }
+
+  uint64_t iterations() const { return iterations_; }
+  const PercentileDigest& iteration_ms() const { return iteration_ms_; }
+
+  // Iterations including fractional progress through the current one —
+  // measured from the stream's remaining queue depth. Short measurement
+  // windows would otherwise quantise slow BE jobs (multi-second training
+  // iterations) to zero.
+  double FractionalIterations() const;
+
+  // Warm-up support: iterations completing before `t` are not counted.
+  void SetWarmupEnd(TimeNs t) { warmup_end_ = t; }
+
+  Stream* stream() const { return stream_; }
+
+ private:
+  void LaunchIteration();
+
+  Driver* driver_;
+  Simulator* sim_;
+  Stream* stream_;
+  ModelProfileRef profile_;
+  bool stopped_ = false;
+  TimeNs warmup_end_ = 0;
+  uint64_t iterations_ = 0;
+  PercentileDigest iteration_ms_;
+};
+
+}  // namespace lithos
+
+#endif  // LITHOS_WORKLOADS_CLIENTS_H_

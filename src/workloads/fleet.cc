@@ -1,0 +1,100 @@
+#include "src/workloads/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lithos {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+
+// Diurnal shape: the ratio (1+a)/(1-a) = 2.23 gives a ~= 0.38.
+constexpr double kDiurnalAmplitude = 0.38;
+
+// Calibration targets from Section 3.1.
+constexpr double kMeanDeviceUtil = 0.27;
+constexpr double kMeanSmUtil = 0.14;
+constexpr double kMeanMembwUtil = 0.20;
+constexpr double kMemcapUtil = 0.28;
+}  // namespace
+
+FleetTelemetry::FleetTelemetry(uint64_t seed) : rng_(seed) {
+  // Thirteen models, A (most popular) .. M (least). Popularity follows a
+  // Zipf-like curve stretched to a several-hundred-x spread (Fig. 5); sizes
+  // span >10x with both large and small models heavily used (Fig. 6: the
+  // smallest model B has usage comparable to larger E and G).
+  const char* ids = "ABCDEFGHIJKLM";
+  const double sizes[] = {6.0, 1.0, 4.5, 8.0, 10.5, 2.2, 11.5, 3.0, 7.0, 1.4, 9.0, 2.6, 5.5};
+  for (int i = 0; i < 13; ++i) {
+    FleetModel m;
+    m.id = std::string(1, ids[i]);
+    // Popularity: geometric-ish decay, ~1.6x between ranks -> A/M ~ 300x.
+    m.popularity = std::pow(1.61, 12 - i);
+    m.size = sizes[i];
+    // Cost per request correlates loosely with size, with noise.
+    m.cost_ms = 0.8 * m.size * rng_.Uniform(0.7, 1.3);
+    models_.push_back(m);
+  }
+}
+
+double FleetTelemetry::NormalizedRps(double day) const {
+  // Peak mid-day, trough at night, small weekly drift.
+  const double daily = std::sin(2.0 * kPi * (day - 0.3));
+  const double weekly = 0.03 * std::sin(2.0 * kPi * day / 7.0);
+  return 1.0 + kDiurnalAmplitude * daily + weekly;
+}
+
+FleetSample FleetTelemetry::Sample(double day) {
+  FleetSample s;
+  s.day = day;
+  const double noise = rng_.Normal(0.0, 0.015);
+  s.normalized_rps = std::max(0.1, NormalizedRps(day) + noise);
+
+  // Utilization follows traffic: util(t) = mean_util * normalized_rps(t),
+  // with small measurement noise. Memory capacity stays flat because models
+  // are pinned in GPU memory to meet SLAs.
+  s.device_util = std::clamp(kMeanDeviceUtil * s.normalized_rps + rng_.Normal(0, 0.008), 0.0, 1.0);
+  s.sm_util = std::clamp(kMeanSmUtil * s.normalized_rps + rng_.Normal(0, 0.006), 0.0, 1.0);
+  s.membw_util = std::clamp(kMeanMembwUtil * s.normalized_rps + rng_.Normal(0, 0.007), 0.0, 1.0);
+  s.memcap_util = std::clamp(kMemcapUtil + rng_.Normal(0, 0.002), 0.0, 1.0);
+  return s;
+}
+
+std::vector<FleetSample> FleetTelemetry::Week(DurationNs interval) {
+  std::vector<FleetSample> samples;
+  const double step_days = ToSeconds(interval) / 86400.0;
+  for (double day = 0.0; day < 6.0; day += step_days) {
+    samples.push_back(Sample(day));
+  }
+  return samples;
+}
+
+double FleetTelemetry::MaxMinRpsRatio() const {
+  double mx = 0, mn = 1e9;
+  for (double day = 0; day < 1.0; day += 1.0 / 288.0) {
+    const double r = NormalizedRps(day);
+    mx = std::max(mx, r);
+    mn = std::min(mn, r);
+  }
+  return mx / mn;
+}
+
+double FleetTelemetry::PopularitySpread() const {
+  double mx = 0, mn = 1e18;
+  for (const FleetModel& m : models_) {
+    mx = std::max(mx, m.popularity);
+    mn = std::min(mn, m.popularity);
+  }
+  return mx / mn;
+}
+
+double FleetTelemetry::SizeSpread() const {
+  double mx = 0, mn = 1e18;
+  for (const FleetModel& m : models_) {
+    mx = std::max(mx, m.size);
+    mn = std::min(mn, m.size);
+  }
+  return mx / mn;
+}
+
+}  // namespace lithos

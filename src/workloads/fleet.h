@@ -1,0 +1,64 @@
+// Fleet telemetry generator: reproduces the statistical shape of the paper's
+// production study of Ads inference at Meta (Section 3, Figures 1, 4, 5, 6).
+//
+// The paper's own numbers anchor the generator: device utilization 17-40%
+// (mean 27%), SM utilization mean 14%, memory bandwidth ~20%, memory capacity
+// steady at 28%; diurnal RPS with max/min = 2.23; thirteen models whose
+// request frequencies span several hundred x and whose sizes span >10x.
+#ifndef LITHOS_WORKLOADS_FLEET_H_
+#define LITHOS_WORKLOADS_FLEET_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace lithos {
+
+struct FleetModel {
+  std::string id;           // "A".."M"
+  double popularity = 0;    // normalised request frequency (min = 1)
+  double size = 0;          // normalised model size
+  double cost_ms = 0;       // mean GPU ms per request
+};
+
+struct FleetSample {
+  double day = 0;                  // time in days
+  double normalized_rps = 0;       // mean-normalised traffic (Fig. 4)
+  double device_util = 0;          // Fig. 1
+  double sm_util = 0;
+  double membw_util = 0;
+  double memcap_util = 0;
+};
+
+class FleetTelemetry {
+ public:
+  explicit FleetTelemetry(uint64_t seed);
+
+  // The thirteen production models, popularity-sorted (Figs. 5, 6).
+  const std::vector<FleetModel>& models() const { return models_; }
+
+  // Diurnal mean-normalised traffic at time t (days); max/min ratio ~2.23.
+  double NormalizedRps(double day) const;
+
+  // One telemetry sample; utilization derives from traffic through the
+  // models' aggregate GPU cost, calibrated to the paper's means.
+  FleetSample Sample(double day);
+
+  // A week of samples at the given interval.
+  std::vector<FleetSample> Week(DurationNs interval = FromSeconds(1800));
+
+  // Aggregate checks used by tests and the bench output.
+  double MaxMinRpsRatio() const;
+  double PopularitySpread() const;  // most / least popular
+  double SizeSpread() const;
+
+ private:
+  Rng rng_;
+  std::vector<FleetModel> models_;
+};
+
+}  // namespace lithos
+
+#endif  // LITHOS_WORKLOADS_FLEET_H_

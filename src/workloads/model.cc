@@ -1,0 +1,36 @@
+#include "src/workloads/model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+#include "src/common/stats.h"
+
+namespace lithos {
+
+DurationNs ModelProfile::KernelLatencyPercentileNs(const GpuSpec& spec, double p) const {
+  PercentileDigest digest;
+  for (const KernelDesc& k : ops) {
+    digest.Add(static_cast<double>(k.LatencyNs(spec, spec.TotalTpcs(), spec.max_mhz)));
+  }
+  return static_cast<DurationNs>(digest.Percentile(p));
+}
+
+void AddOp(ModelProfile* m, const GpuSpec& spec, const std::string& name, uint32_t blocks,
+           double latency_us, double parallel_frac, double freq_sens,
+           uint32_t threads_per_block) {
+  LITHOS_CHECK_GT(latency_us, 0.0);
+  m->ops.push_back(MakeKernel(name, std::max(1u, blocks), FromMicros(latency_us), parallel_frac,
+                              freq_sens, spec, threads_per_block));
+}
+
+void CalibrateTotalLatency(ModelProfile* m, const GpuSpec& spec, DurationNs target) {
+  const DurationNs current = m->IdealLatencyNs(spec);
+  LITHOS_CHECK_GT(current, 0);
+  const double scale = static_cast<double>(target) / static_cast<double>(current);
+  for (KernelDesc& k : m->ops) {
+    k.work_m_ns *= scale;
+    k.serial_b_ns *= scale;
+  }
+}
+
+}  // namespace lithos

@@ -1,0 +1,75 @@
+// Model profiles: driver-level kernel traces standing in for real frameworks.
+//
+// The scheduling layer of the paper never sees tensors or graphs — only the
+// sequence of kernel launches each model emits through the CUDA Driver API.
+// A ModelProfile is exactly that sequence: an ordered list of KernelDesc
+// (grid dims, occupancy footprint, hidden timing coefficients) representing
+// one inference request or one training iteration. Profiles are parameterised
+// (batch size, sequence length) and calibrated against the latencies the
+// paper reports in Tables 1 and 2 and Figures 10-12.
+#ifndef LITHOS_WORKLOADS_MODEL_H_
+#define LITHOS_WORKLOADS_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/gpu/gpu_spec.h"
+#include "src/gpu/kernel.h"
+
+namespace lithos {
+
+struct ModelProfile {
+  std::string name;
+  std::string framework;  // e.g. "TensorRT", "TensorRT-LLM", "ONNX Runtime", "PyTorch"
+  bool training = false;
+  int batch_size = 1;
+  double memory_gib = 0;
+
+  // Kernels of one request (inference) or one iteration (training), in
+  // launch order. Owned here; WorkItems reference them, so a profile must
+  // outlive the simulation that uses it (profiles are handed out as
+  // shared_ptr<const ModelProfile> for this reason).
+  std::vector<KernelDesc> ops;
+
+  // Sum of per-op latencies on the whole device at f_max: the "runs alone,
+  // kernels back to back" latency that experiment normalisations use.
+  DurationNs IdealLatencyNs(const GpuSpec& spec) const {
+    DurationNs total = 0;
+    for (const KernelDesc& k : ops) {
+      total += k.LatencyNs(spec, spec.TotalTpcs(), spec.max_mhz);
+    }
+    return total;
+  }
+
+  // Largest single-op latency at full device (Fig. 10 plots its P99 across
+  // ops).
+  DurationNs MaxKernelLatencyNs(const GpuSpec& spec) const {
+    DurationNs mx = 0;
+    for (const KernelDesc& k : ops) {
+      mx = std::max(mx, k.LatencyNs(spec, spec.TotalTpcs(), spec.max_mhz));
+    }
+    return mx;
+  }
+
+  // P-th percentile of per-op latency at full device.
+  DurationNs KernelLatencyPercentileNs(const GpuSpec& spec, double p) const;
+};
+
+using ModelProfileRef = std::shared_ptr<const ModelProfile>;
+
+// Appends an op to `m`: `blocks` thread blocks, full-device latency
+// `latency_us` (µs at f_max), parallel fraction and frequency sensitivity as
+// given.
+void AddOp(ModelProfile* m, const GpuSpec& spec, const std::string& name, uint32_t blocks,
+           double latency_us, double parallel_frac, double freq_sens,
+           uint32_t threads_per_block = 256);
+
+// Rescales every op's timing coefficients so IdealLatencyNs() == target.
+// Used to calibrate built profiles against the paper's reported latencies.
+void CalibrateTotalLatency(ModelProfile* m, const GpuSpec& spec, DurationNs target);
+
+}  // namespace lithos
+
+#endif  // LITHOS_WORKLOADS_MODEL_H_

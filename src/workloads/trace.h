@@ -1,0 +1,55 @@
+// LLM inference trace generator modelled on the Microsoft Azure trace the
+// paper uses (Section 6): a mixture of small, medium, and large prompt
+// lengths with matching output lengths. Fig. 10(b) plots P99 kernel latency
+// for exactly these S/M/L buckets.
+#ifndef LITHOS_WORKLOADS_TRACE_H_
+#define LITHOS_WORKLOADS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace lithos {
+
+struct LlmRequestShape {
+  int prompt_len = 0;
+  int output_len = 0;
+  char bucket = 'M';  // 'S', 'M', or 'L'
+};
+
+class AzureLlmTrace {
+ public:
+  explicit AzureLlmTrace(uint64_t seed) : rng_(seed) {}
+
+  // Bucket definitions (prompt, output) with mixture weights.
+  static LlmRequestShape Small() { return {128, 64, 'S'}; }
+  static LlmRequestShape Medium() { return {512, 128, 'M'}; }
+  static LlmRequestShape Large() { return {2048, 160, 'L'}; }
+
+  LlmRequestShape Sample() {
+    const double r = rng_.NextDouble();
+    LlmRequestShape shape;
+    if (r < 0.50) {
+      shape = Small();
+    } else if (r < 0.85) {
+      shape = Medium();
+    } else {
+      shape = Large();
+    }
+    // +/-25% jitter around the bucket centre, as real prompts are not
+    // quantised.
+    shape.prompt_len =
+        std::max(16, static_cast<int>(shape.prompt_len * rng_.Uniform(0.75, 1.25)));
+    shape.output_len =
+        std::max(8, static_cast<int>(shape.output_len * rng_.Uniform(0.75, 1.25)));
+    return shape;
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace lithos
+
+#endif  // LITHOS_WORKLOADS_TRACE_H_

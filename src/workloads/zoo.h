@@ -1,0 +1,74 @@
+// The model zoo: synthetic kernel traces for every model in the paper's
+// evaluation (Section 6, Tables 1 and 2), calibrated so that
+//
+//   * whole-request / whole-iteration latencies at full device match the
+//     paper's reported numbers (Table 1 latency column; Table 2-consistent
+//     service times),
+//   * per-kernel duration distributions match Fig. 10 (training batch-size
+//     growth, DLRM's >30 ms embedding-update kernel, multi-ms LLM prefill
+//     kernels at long prompt lengths),
+//   * TPC- and frequency-scaling shapes match Figs. 11 and 12 (GEMM-heavy
+//     kernels scale; token-penalty/decode kernels do not; memory-bound ops
+//     are frequency-insensitive).
+#ifndef LITHOS_WORKLOADS_ZOO_H_
+#define LITHOS_WORKLOADS_ZOO_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/workloads/model.h"
+
+namespace lithos {
+
+// --- Inference models (Table 2) -----------------------------------------------
+
+ModelProfileRef MakeResNet50Inference(const GpuSpec& spec, int batch);
+ModelProfileRef MakeRetinaNetInference(const GpuSpec& spec, int batch);
+ModelProfileRef MakeYoloV4Inference(const GpuSpec& spec, int batch);
+ModelProfileRef MakeBertLargeInference(const GpuSpec& spec, int batch);
+// LLM inference: prefill over `prompt_len` tokens, then `output_len` decode
+// steps (TensorRT-LLM style).
+ModelProfileRef MakeLlama3Inference(const GpuSpec& spec, int prompt_len, int output_len);
+ModelProfileRef MakeGptJInference(const GpuSpec& spec, int prompt_len, int output_len);
+
+// --- Training / finetuning models (Table 1) ---------------------------------------
+
+ModelProfileRef MakeVgg19Training(const GpuSpec& spec, int batch = 120);
+ModelProfileRef MakeResNet50Training(const GpuSpec& spec, int batch = 184);
+ModelProfileRef MakeMobileNetV2Training(const GpuSpec& spec, int batch = 216);
+ModelProfileRef MakeDlrmTraining(const GpuSpec& spec, int batch = 32768);
+ModelProfileRef MakeBertLargeTraining(const GpuSpec& spec, int batch = 20);
+ModelProfileRef MakeLlama3Finetune(const GpuSpec& spec, int batch = 4);
+
+// --- Registries for experiment sweeps ---------------------------------------------
+
+struct InferenceServiceSpec {
+  std::string model;       // zoo name
+  std::string framework;
+  double load_rps;         // Table 2 load
+  DurationNs slo;          // Table 2 latency constraint
+  int max_batch;           // dynamic batching cap (1 = no batching)
+};
+
+struct TrainingJobSpec {
+  std::string model;
+  int batch;
+  double memory_gib;       // Table 1
+  DurationNs iteration;    // Table 1 latency
+};
+
+// Table 2 rows.
+std::vector<InferenceServiceSpec> InferenceServices();
+// Table 1 rows.
+std::vector<TrainingJobSpec> TrainingJobs();
+
+// Builds an inference profile by zoo name at the given batch (LLMs use the
+// medium trace bucket when built this way).
+ModelProfileRef MakeInferenceByName(const std::string& name, const GpuSpec& spec, int batch);
+// Builds a training profile by zoo name at its Table 1 batch.
+ModelProfileRef MakeTrainingByName(const std::string& name, const GpuSpec& spec);
+
+}  // namespace lithos
+
+#endif  // LITHOS_WORKLOADS_ZOO_H_

@@ -1,0 +1,247 @@
+// Behavioural tests for the eight baseline systems: each backend's defining
+// policy (immediate dispatch, gating, partitioning, time quanta, rate
+// control, contention awareness) verified through the driver shim.
+#include <gtest/gtest.h>
+
+#include "src/baselines/concurrent_backends.h"
+#include "src/baselines/partition_backend.h"
+#include "src/baselines/timeslice_backend.h"
+#include "src/driver/driver.h"
+
+namespace lithos {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() : engine_(&sim_, GpuSpec::A100()), driver_(&sim_, &engine_) {
+    big_ = MakeKernel("big", 100000, FromMillis(10), 1.0, 0.8, engine_.spec(), 64);
+    small_ = MakeKernel("small", 4096, FromMillis(1), 0.9, 0.8, engine_.spec());
+    membound_ = MakeKernel("mem", 4096, FromMillis(1), 0.9, 0.2, engine_.spec());
+  }
+
+  Client* MakeHp(const std::string& name, int quota = 0) {
+    return driver_.CuCtxCreate(name, PriorityClass::kHighPriority, quota);
+  }
+  Client* MakeBe(const std::string& name, int quota = 0) {
+    return driver_.CuCtxCreate(name, PriorityClass::kBestEffort, quota);
+  }
+
+  Simulator sim_;
+  ExecutionEngine engine_;
+  Driver driver_;
+  KernelDesc big_, small_, membound_;
+};
+
+TEST_F(BaselinesTest, MpsDispatchesEverythingImmediately) {
+  MpsBackend backend(&sim_, &engine_);
+  driver_.SetBackend(&backend);
+  Client* a = MakeHp("a");
+  Client* b = MakeBe("b");
+  Stream* sa = driver_.CuStreamCreate(a);
+  Stream* sb = driver_.CuStreamCreate(b);
+  driver_.CuLaunchKernel(sa, &big_);
+  driver_.CuLaunchKernel(sb, &big_);
+  EXPECT_EQ(engine_.NumRunningGrants(), 2);  // both resident at once
+}
+
+TEST_F(BaselinesTest, ReefGatesBestEffortBehindHp) {
+  ReefBackend backend(&sim_, &engine_);
+  driver_.SetBackend(&backend);
+  Client* hp = MakeHp("hp");
+  Client* be = MakeBe("be");
+  Stream* sh = driver_.CuStreamCreate(hp);
+  Stream* sb = driver_.CuStreamCreate(be);
+
+  driver_.CuLaunchKernel(sh, &big_);
+  TimeNs be_end = 0;
+  driver_.CuLaunchKernel(sb, &small_);
+  driver_.CuStreamAddCallback(sb, [&] { be_end = sim_.Now(); });
+  // HP in flight: BE held back.
+  EXPECT_EQ(engine_.NumRunningGrants(), 1);
+  sim_.RunUntil(FromMillis(30));
+  // Gate opened when the HP kernel finished (~10ms); only then did BE run.
+  EXPECT_GT(be_end, FromMillis(10));
+}
+
+TEST_F(BaselinesTest, ReefWindowCommitsMultipleBeKernels) {
+  ReefBackend backend(&sim_, &engine_);
+  driver_.SetBackend(&backend);
+  Client* hp = MakeHp("hp");
+  Client* be = MakeBe("be");
+  Stream* sh = driver_.CuStreamCreate(hp);
+  Stream* sb = driver_.CuStreamCreate(be);
+
+  // HP idle: the BE window opens and BE kernels flow even after HP arrives,
+  // until the window (8) is spent — REEF's uninterruptible device-queue
+  // window.
+  int be_done = 0;
+  for (int i = 0; i < 12; ++i) {
+    driver_.CuLaunchKernel(sb, &small_);
+    driver_.CuStreamAddCallback(sb, [&] { ++be_done; });
+  }
+  sim_.RunUntil(FromMicros(100));
+  driver_.CuLaunchKernel(sh, &big_);  // HP arrives mid-window
+  sim_.RunUntil(FromMillis(1));
+  // The committed window keeps a BE kernel co-resident with the HP kernel.
+  EXPECT_EQ(engine_.NumRunningGrants(), 2);
+  sim_.RunUntil(FromSeconds(5));      // HP long gone; window + gate drain all
+  EXPECT_EQ(be_done, 12);
+}
+
+TEST_F(BaselinesTest, PriorityBoostsHpShare) {
+  PriorityBackend backend(&sim_, &engine_);
+  driver_.SetBackend(&backend);
+  Client* hp = MakeHp("hp");
+  Client* be = MakeBe("be");
+  Stream* sh = driver_.CuStreamCreate(hp);
+  Stream* sb = driver_.CuStreamCreate(be);
+
+  TimeNs hp_end = 0, be_end = 0;
+  driver_.CuLaunchKernel(sb, &big_);
+  driver_.CuStreamAddCallback(sb, [&] { be_end = sim_.Now(); });
+  driver_.CuLaunchKernel(sh, &big_);
+  driver_.CuStreamAddCallback(sh, [&] { hp_end = sim_.Now(); });
+  sim_.RunUntil(FromSeconds(1));
+  // Same kernel, but the HP copy finishes first thanks to its boosted share.
+  EXPECT_LT(hp_end, be_end);
+  EXPECT_GT(hp_end, FromMillis(10));  // still slower than running alone
+}
+
+TEST_F(BaselinesTest, PartitionBackendConfinesClients) {
+  PartitionBackend backend(&sim_, &engine_, PartitionBackend::Mode::kLimits);
+  driver_.SetBackend(&backend);
+  Client* a = MakeHp("a", 40);
+  Client* b = MakeHp("b", 14);
+  EXPECT_EQ(backend.PartitionOf(a->id).count(), 40u);
+  EXPECT_EQ(backend.PartitionOf(b->id).count(), 14u);
+  EXPECT_EQ((backend.PartitionOf(a->id) & backend.PartitionOf(b->id)).count(), 0u);
+
+  Stream* sa = driver_.CuStreamCreate(a);
+  driver_.CuLaunchKernel(sa, &big_);
+  EXPECT_EQ(engine_.BusyMask().count(), 40u);
+}
+
+TEST_F(BaselinesTest, MigRoundsToGpcBoundaries) {
+  PartitionBackend backend(&sim_, &engine_, PartitionBackend::Mode::kMig);
+  driver_.SetBackend(&backend);
+  Client* a = MakeHp("a", 32);  // exactly 4 GPCs on the A100 layout
+  Client* b = MakeHp("b", 22);  // 3 GPCs
+  EXPECT_EQ(backend.PartitionOf(a->id).count(), 32u);
+  EXPECT_EQ(backend.PartitionOf(b->id).count(), 22u);
+}
+
+TEST_F(BaselinesTest, PartitionlessClientNeverRuns) {
+  PartitionBackend backend(&sim_, &engine_, PartitionBackend::Mode::kMig);
+  driver_.SetBackend(&backend);
+  MakeHp("a", 32);
+  Client* be = MakeBe("be", 0);  // MIG cannot host a BE tenant
+  Stream* sb = driver_.CuStreamCreate(be);
+  bool done = false;
+  driver_.CuLaunchKernel(sb, &small_);
+  driver_.CuStreamAddCallback(sb, [&] { done = true; });
+  sim_.RunUntil(FromSeconds(2));
+  EXPECT_FALSE(done);
+}
+
+TEST_F(BaselinesTest, TimesliceRotatesExclusiveOwnership) {
+  TimesliceBackend backend(&sim_, &engine_, FromMillis(2));
+  driver_.SetBackend(&backend);
+  Client* a = MakeHp("a");
+  Client* b = MakeBe("b");
+  Stream* sa = driver_.CuStreamCreate(a);
+  Stream* sb = driver_.CuStreamCreate(b);
+
+  TimeNs end_a = 0, end_b = 0;
+  driver_.CuLaunchKernel(sa, &big_);
+  driver_.CuStreamAddCallback(sa, [&] { end_a = sim_.Now(); });
+  driver_.CuLaunchKernel(sb, &big_);
+  driver_.CuStreamAddCallback(sb, [&] { end_b = sim_.Now(); });
+
+  // Only one context runs at any time.
+  EXPECT_EQ(engine_.NumRunningGrants(), 1);
+  sim_.RunUntil(FromMillis(3));
+  EXPECT_EQ(engine_.NumRunningGrants(), 1);
+  sim_.RunUntil(FromSeconds(1));
+  // Interleaved 10ms+10ms of work: both finish near 20ms, in quantum order.
+  EXPECT_GT(end_a, FromMillis(15));
+  EXPECT_GT(end_b, FromMillis(15));
+  EXPECT_LE(std::max(end_a, end_b), FromMillis(25));
+}
+
+TEST_F(BaselinesTest, TimesliceSoleTenantKeepsDevice) {
+  TimesliceBackend backend(&sim_, &engine_, FromMillis(2));
+  driver_.SetBackend(&backend);
+  Client* a = MakeHp("a");
+  Stream* sa = driver_.CuStreamCreate(a);
+  TimeNs end = 0;
+  driver_.CuLaunchKernel(sa, &big_);
+  driver_.CuStreamAddCallback(sa, [&] { end = sim_.Now(); });
+  sim_.RunUntil(FromSeconds(1));
+  // No other tenant: quantum expiry must not preempt or delay.
+  EXPECT_NEAR(static_cast<double>(end), static_cast<double>(FromMillis(10)),
+              static_cast<double>(FromMicros(100)));
+}
+
+TEST_F(BaselinesTest, TgsThrottlesBeUnderHpPressure) {
+  TgsBackend backend(&sim_, &engine_);
+  driver_.SetBackend(&backend);
+  Client* hp = MakeHp("hp");
+  Client* be = MakeBe("be");
+  Stream* sh = driver_.CuStreamCreate(hp);
+  Stream* sb = driver_.CuStreamCreate(be);
+
+  int be_done = 0;
+  // Sustained alternation: HP kernels keep arriving while BE queues work.
+  for (int i = 0; i < 200; ++i) {
+    driver_.CuLaunchKernel(sb, &small_);
+    driver_.CuStreamAddCallback(sb, [&] { ++be_done; });
+  }
+  for (int i = 0; i < 50; ++i) {
+    sim_.ScheduleAt(i * FromMillis(2), [this, sh] { driver_.CuLaunchKernel(sh, &small_); });
+  }
+  sim_.RunUntil(FromMillis(100));
+  const int done_under_pressure = be_done;
+  sim_.RunUntil(FromSeconds(3));
+  // BE progressed slowly under pressure, faster after HP stopped.
+  EXPECT_LT(done_under_pressure, 100);
+  EXPECT_EQ(be_done, 200);
+}
+
+TEST_F(BaselinesTest, OrionBlocksContendingBeKernels) {
+  OrionBackend backend(&sim_, &engine_);
+  driver_.SetBackend(&backend);
+  Client* hp = MakeHp("hp");
+  Client* be = MakeBe("be");
+  Stream* sh = driver_.CuStreamCreate(hp);
+  Stream* sb = driver_.CuStreamCreate(be);
+
+  // HP compute-bound kernel in flight.
+  driver_.CuLaunchKernel(sh, &big_);
+  ASSERT_EQ(engine_.NumRunningGrants(), 1);
+
+  // Compute-bound BE kernel contends -> held.
+  driver_.CuLaunchKernel(sb, &small_);
+  EXPECT_EQ(engine_.NumRunningGrants(), 1);
+
+  sim_.RunUntil(FromMillis(15));  // HP done; BE launches.
+  bool be_done = false;
+  driver_.CuStreamAddCallback(sb, [&] { be_done = true; });
+  sim_.RunUntil(FromMillis(40));
+  EXPECT_TRUE(be_done);
+}
+
+TEST_F(BaselinesTest, OrionAdmitsComplementaryBeKernel) {
+  OrionBackend backend(&sim_, &engine_);
+  driver_.SetBackend(&backend);
+  Client* hp = MakeHp("hp");
+  Client* be = MakeBe("be");
+  Stream* sh = driver_.CuStreamCreate(hp);
+  Stream* sb = driver_.CuStreamCreate(be);
+
+  driver_.CuLaunchKernel(sh, &big_);       // compute-bound HP
+  driver_.CuLaunchKernel(sb, &membound_);  // memory-bound BE: complementary
+  EXPECT_EQ(engine_.NumRunningGrants(), 2);
+}
+
+}  // namespace
+}  // namespace lithos

@@ -1,0 +1,219 @@
+// Cross-system integration tests built on the experiment harness: these
+// assert the *orderings* the paper's evaluation establishes (Section 7)
+// rather than exact numbers — who wins on tails, who wins on throughput, and
+// that LithOS provides "the best of both worlds".
+#include <gtest/gtest.h>
+
+#include "src/experiments/harness.h"
+
+namespace lithos {
+namespace {
+
+StackingConfig FastConfig(SystemKind system) {
+  StackingConfig cfg;
+  cfg.system = system;
+  cfg.warmup = FromSeconds(1);
+  cfg.duration = FromSeconds(5);
+  return cfg;
+}
+
+AppSpec BertHp(double rps = 500) {
+  AppSpec hp;
+  hp.role = AppRole::kHpLatency;
+  hp.model = "BERT";
+  hp.load_rps = rps;
+  hp.slo = FromMillis(130);
+  hp.max_batch = 16;  // Table 2's Triton configuration
+  return hp;
+}
+
+AppSpec VggBe() {
+  AppSpec be;
+  be.role = AppRole::kBeTraining;
+  be.model = "VGG";
+  return be;
+}
+
+StackingResult RunHybrid(SystemKind system) {
+  StackingConfig cfg = FastConfig(system);
+  AppSpec hp = BertHp();
+  AppSpec be = VggBe();
+  AssignHybridQuotas(system, cfg.spec, &hp, &be);
+  return RunStacking(cfg, {hp, be});
+}
+
+TEST(IntegrationTest, SoloServiceMeetsItsSlo) {
+  const AppResult solo = RunSolo(BertHp(), GpuSpec::A100(), FromSeconds(5));
+  EXPECT_GT(solo.completed, 1500u);
+  EXPECT_GE(solo.slo_attainment, 0.999);
+  EXPECT_NEAR(solo.throughput_rps, 500.0, 25.0);
+}
+
+TEST(IntegrationTest, LithosKeepsHybridTailNearIdeal) {
+  const AppResult solo = RunSolo(BertHp(), GpuSpec::A100(), FromSeconds(5));
+  const StackingResult lithos = RunHybrid(SystemKind::kLithos);
+  // Paper: "LithOS maintains a tail latency within 20% of the ideal".
+  EXPECT_LT(lithos.apps[0].p99_ms, solo.p99_ms * 1.35);
+  EXPECT_NEAR(lithos.apps[0].throughput_rps, 500.0, 25.0);
+  // And the BE trains meaningfully (work conservation via stealing).
+  EXPECT_GT(lithos.apps[1].iterations_per_s, 0.25);
+}
+
+TEST(IntegrationTest, MpsDestroysHybridTails) {
+  const AppResult solo = RunSolo(BertHp(), GpuSpec::A100(), FromSeconds(5));
+  const StackingResult mps = RunHybrid(SystemKind::kMps);
+  const StackingResult lithos = RunHybrid(SystemKind::kLithos);
+  // Paper: LithOS reduces tail latency vs MPS by 4.7x on average (hybrid),
+  // up to 13.5x. We assert a large multiple without pinning the value.
+  EXPECT_GT(mps.apps[0].p99_ms, 4.0 * lithos.apps[0].p99_ms);
+  EXPECT_GT(mps.apps[0].p99_ms, 3.0 * solo.p99_ms);
+}
+
+TEST(IntegrationTest, LithosBeatsRefAndTgsOnTailsAndAggregate) {
+  const StackingResult lithos = RunHybrid(SystemKind::kLithos);
+  const StackingResult reef = RunHybrid(SystemKind::kReef);
+  const StackingResult tgs = RunHybrid(SystemKind::kTgs);
+
+  // Tails: LithOS <= both SotA systems (paper: 2.34x vs REEF, 1.18x vs TGS).
+  EXPECT_LE(lithos.apps[0].p99_ms, reef.apps[0].p99_ms * 1.05);
+  EXPECT_LE(lithos.apps[0].p99_ms, tgs.apps[0].p99_ms * 1.05);
+
+  // Aggregate throughput: LithOS trains more while serving the same load
+  // (paper: 1.35x aggregate vs TGS). BE normalised by its solo rate (3.4/s).
+  const double kSoloBe = 3.4;
+  const double lithos_agg =
+      lithos.apps[0].throughput_rps / 500.0 + lithos.apps[1].iterations_per_s / kSoloBe;
+  const double tgs_agg =
+      tgs.apps[0].throughput_rps / 500.0 + tgs.apps[1].iterations_per_s / kSoloBe;
+  const double reef_agg =
+      reef.apps[0].throughput_rps / 500.0 + reef.apps[1].iterations_per_s / kSoloBe;
+  EXPECT_GT(lithos_agg, tgs_agg);
+  EXPECT_GT(lithos_agg, reef_agg);
+}
+
+TEST(IntegrationTest, PartitioningProtectsButWastes) {
+  const StackingResult mig = RunHybrid(SystemKind::kMig);
+  const StackingResult lithos = RunHybrid(SystemKind::kLithos);
+  // The paper: "both methods fail to sustain peak HP throughput" — MIG's
+  // static half-device partition cannot carry the 80%-utilization load,
+  // while LithOS serves it fully.
+  EXPECT_LT(mig.apps[0].throughput_rps, 0.92 * lithos.apps[0].throughput_rps);
+  EXPECT_GT(lithos.apps[0].slo_attainment, 0.95);
+}
+
+TEST(IntegrationTest, TimeslicingSerializesAndHurtsLatency) {
+  const AppResult solo = RunSolo(BertHp(), GpuSpec::A100(), FromSeconds(5));
+  const StackingResult ts = RunHybrid(SystemKind::kTimeslice);
+  // Temporal sharing cannot sustain the load: latency inflates well beyond
+  // solo (the paper's "only one job at a time" critique).
+  EXPECT_GT(ts.apps[0].p99_ms, 2.0 * solo.p99_ms);
+}
+
+TEST(IntegrationTest, InferenceOnlyLithosIsolatesBothHpApps) {
+  // HP A = ResNet (latency SLO), HP B = BERT (throughput), BE = GPT-J.
+  const InferenceServiceSpec svc_a = ServiceFor("ResNet");
+  const InferenceServiceSpec svc_b = ServiceFor("BERT");
+  AppSpec hp_a;
+  hp_a.role = AppRole::kHpLatency;
+  hp_a.model = svc_a.model;
+  hp_a.load_rps = svc_a.load_rps;
+  hp_a.slo = svc_a.slo;
+  hp_a.max_batch = svc_a.max_batch;
+  AppSpec hp_b;
+  hp_b.role = AppRole::kHpThroughput;
+  hp_b.model = svc_b.model;
+  hp_b.load_rps = svc_b.load_rps;
+  hp_b.slo = svc_b.slo;
+  hp_b.max_batch = svc_b.max_batch;
+  AppSpec be;
+  be.role = AppRole::kBeInference;
+  be.model = "GPT-J";
+
+  StackingConfig cfg = FastConfig(SystemKind::kLithos);
+  AssignInferenceOnlyQuotas(SystemKind::kLithos, cfg.spec, &hp_a, &hp_b, &be);
+  const StackingResult lithos = RunStacking(cfg, {hp_a, hp_b, be});
+
+  // Paper Fig. 13: LithOS achieves 100% SLO attainment for both HP apps.
+  EXPECT_GE(lithos.apps[0].slo_attainment, 0.99);
+  EXPECT_GE(lithos.apps[1].slo_attainment, 0.99);
+  // And the BE still runs (Fig. 14's nonzero BE throughput).
+  EXPECT_GT(lithos.apps[2].iterations_per_s, 0.05);
+
+  // MPS on the same scenario violates HP A's constraint more often.
+  StackingConfig mps_cfg = FastConfig(SystemKind::kMps);
+  AssignInferenceOnlyQuotas(SystemKind::kMps, mps_cfg.spec, &hp_a, &hp_b, &be);
+  const StackingResult mps = RunStacking(mps_cfg, {hp_a, hp_b, be});
+  EXPECT_GT(mps.apps[0].p99_ms, lithos.apps[0].p99_ms * 1.5);
+}
+
+TEST(IntegrationTest, AblationFeatureProgression) {
+  // Fig. 19: MPS -> +TPC scheduling -> +atomization monotonically improves
+  // HP tails.
+  const StackingResult mps = RunHybrid(SystemKind::kMps);
+
+  StackingConfig sched_only = FastConfig(SystemKind::kLithos);
+  sched_only.lithos.enable_atomization = false;
+  AppSpec hp = BertHp();
+  AppSpec be = VggBe();
+  AssignHybridQuotas(SystemKind::kLithos, sched_only.spec, &hp, &be);
+  const StackingResult tpc_only = RunStacking(sched_only, {hp, be});
+
+  const StackingResult full = RunHybrid(SystemKind::kLithos);
+
+  EXPECT_LT(tpc_only.apps[0].p99_ms, mps.apps[0].p99_ms);
+  EXPECT_LE(full.apps[0].p99_ms, tpc_only.apps[0].p99_ms * 1.05);
+}
+
+TEST(IntegrationTest, RightSizingSavesCapacityWithinSlip) {
+  // Serve BERT solo with and without right-sizing; capacity shrinks, P99
+  // stays within a modest penalty (paper §7.2: 26% savings for ~4% cost).
+  AppSpec hp = BertHp(200);
+  hp.quota_tpcs = 54;
+
+  StackingConfig base = FastConfig(SystemKind::kLithos);
+  base.lithos.allocate_full_quota = true;  // dedicated-deployment baseline
+  const StackingResult before = RunStacking(base, {hp});
+
+  StackingConfig rs = base;
+  rs.lithos.enable_rightsizing = true;
+  const StackingResult after = RunStacking(rs, {hp});
+
+  double cap_before = 0, cap_after = 0;
+  for (const auto& [id, v] : before.engine.allocated_tpc_seconds) {
+    cap_before += v;
+  }
+  for (const auto& [id, v] : after.engine.allocated_tpc_seconds) {
+    cap_after += v;
+  }
+  EXPECT_LT(cap_after, cap_before * 0.80);          // substantial savings
+  EXPECT_LT(after.apps[0].p99_ms, before.apps[0].p99_ms * 1.35);  // bounded cost
+}
+
+TEST(IntegrationTest, DvfsSavesEnergyWithinSlip) {
+  AppSpec hp = BertHp(200);
+  hp.quota_tpcs = 54;
+
+  StackingConfig base = FastConfig(SystemKind::kLithos);
+  base.duration = FromSeconds(8);
+  const StackingResult before = RunStacking(base, {hp});
+
+  StackingConfig dvfs = base;
+  dvfs.lithos.enable_dvfs = true;
+  const StackingResult after = RunStacking(dvfs, {hp});
+
+  // Same open-loop work completed; less energy drawn.
+  EXPECT_NEAR(after.apps[0].throughput_rps, before.apps[0].throughput_rps, 15.0);
+  EXPECT_LT(after.engine.energy_joules, before.engine.energy_joules * 0.99);
+  EXPECT_LT(after.apps[0].p99_ms, before.apps[0].p99_ms * 1.5);
+}
+
+TEST(IntegrationTest, DeterministicAcrossRuns) {
+  const StackingResult a = RunHybrid(SystemKind::kLithos);
+  const StackingResult b = RunHybrid(SystemKind::kLithos);
+  EXPECT_DOUBLE_EQ(a.apps[0].p99_ms, b.apps[0].p99_ms);
+  EXPECT_EQ(a.apps[0].completed, b.apps[0].completed);
+  EXPECT_DOUBLE_EQ(a.engine.energy_joules, b.engine.energy_joules);
+}
+
+}  // namespace
+}  // namespace lithos

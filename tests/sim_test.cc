@@ -1,0 +1,169 @@
+// Unit tests for the discrete-event simulator: ordering, determinism,
+// cancellation, and clock semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace lithos {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, EqualTimestampsRunInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(5, [&order, i] { order.push_back(i); });
+  }
+  sim.RunToCompletion();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimeNs fired_at = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { fired_at = sim.Now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(10, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelUnknownIsNoop) {
+  Simulator sim;
+  sim.Cancel(9999);  // Must not crash.
+  bool fired = false;
+  sim.ScheduleAt(1, [&] { fired = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelFromWithinEarlierEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId later = sim.ScheduleAt(20, [&] { fired = true; });
+  sim.ScheduleAt(10, [&] { sim.Cancel(later); });
+  sim.RunToCompletion();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(10, [&] { ++count; });
+  sim.ScheduleAt(20, [&] { ++count; });
+  sim.ScheduleAt(30, [&] { ++count; });
+  sim.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunUntil(100);
+  EXPECT_EQ(count, 3);
+  // Clock advances to the deadline even past the last event.
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) {
+      sim.ScheduleAfter(1, chain);
+    }
+  };
+  sim.ScheduleAt(0, chain);
+  sim.RunToCompletion();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), 99);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(1, [&] { ++count; });
+  sim.ScheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, PendingEventsCount) {
+  Simulator sim;
+  const EventId a = sim.ScheduleAt(1, [] {});
+  sim.ScheduleAt(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.RunToCompletion();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, ZeroDelayEventRunsAtSameTime) {
+  Simulator sim;
+  TimeNs inner = -1;
+  sim.ScheduleAt(42, [&] {
+    sim.ScheduleAfter(0, [&] { inner = sim.Now(); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(inner, 42);
+}
+
+// Property: an arbitrary interleaving of schedules and cancels never executes
+// a cancelled event and always respects time order.
+class SimFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimFuzzTest, OrderAndCancellationInvariants) {
+  Simulator sim;
+  std::vector<TimeNs> fired;
+  std::vector<EventId> ids;
+  uint64_t state = GetParam() * 2654435761u + 1;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 300; ++i) {
+    const TimeNs at = static_cast<TimeNs>(next() % 1000);
+    ids.push_back(sim.ScheduleAt(at, [&fired, &sim] { fired.push_back(sim.Now()); }));
+  }
+  // Cancel a third of them.
+  size_t cancelled = 0;
+  for (size_t i = 0; i < ids.size(); i += 3) {
+    sim.Cancel(ids[i]);
+    ++cancelled;
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(fired.size(), ids.size() - cancelled);
+  for (size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1], fired[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimFuzzTest, ::testing::Values(1, 7, 23, 99, 1234));
+
+}  // namespace
+}  // namespace lithos

@@ -1,0 +1,99 @@
+// Cross-system sweep properties: for every scheduling system and several
+// workload mixes, the harness must satisfy basic sanity invariants —
+// determinism, throughput never exceeding offered load, completed work
+// consistency, and SLO attainment bounded by [0, 1]. This guards the whole
+// stack (driver, backend, engine, workloads) against regressions in any one
+// system.
+#include <gtest/gtest.h>
+
+#include "src/experiments/harness.h"
+
+namespace lithos {
+namespace {
+
+struct SweepCase {
+  SystemKind system;
+  const char* hp_model;
+  const char* be_model;
+  bool be_training;
+};
+
+class SystemSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SystemSweepTest, SanityInvariantsHold) {
+  const SweepCase& c = GetParam();
+
+  StackingConfig cfg;
+  cfg.system = c.system;
+  cfg.warmup = FromSeconds(1);
+  cfg.duration = FromSeconds(4);
+
+  const InferenceServiceSpec svc = ServiceFor(c.hp_model);
+  AppSpec hp;
+  hp.role = AppRole::kHpLatency;
+  hp.model = c.hp_model;
+  hp.load_rps = svc.load_rps;
+  hp.slo = svc.slo;
+  hp.max_batch = svc.max_batch;
+
+  AppSpec be;
+  be.role = c.be_training ? AppRole::kBeTraining : AppRole::kBeInference;
+  be.model = c.be_model;
+  AssignHybridQuotas(c.system, cfg.spec, &hp, &be);
+
+  const StackingResult r = RunStacking(cfg, {hp, be});
+
+  // Throughput cannot exceed the offered load by more than queue-drain slack.
+  EXPECT_LE(r.apps[0].throughput_rps, hp.load_rps * 1.35)
+      << SystemName(c.system) << " " << c.hp_model;
+  // Latencies are positive whenever something completed.
+  if (r.apps[0].completed > 0) {
+    EXPECT_GT(r.apps[0].p99_ms, 0.0);
+    EXPECT_LE(r.apps[0].p50_ms, r.apps[0].p99_ms * 1.0001);
+    EXPECT_LE(r.apps[0].p95_ms, r.apps[0].p99_ms * 1.0001);
+  }
+  // Attainment is a fraction; goodput <= throughput.
+  EXPECT_GE(r.apps[0].slo_attainment, 0.0);
+  EXPECT_LE(r.apps[0].slo_attainment, 1.0);
+  EXPECT_LE(r.apps[0].goodput_rps, r.apps[0].throughput_rps * 1.0001);
+  // BE iterations are non-negative and finite.
+  EXPECT_GE(r.apps[1].iterations_per_s, 0.0);
+  EXPECT_LT(r.apps[1].iterations_per_s, 1e5);
+  // Engine accounting is consistent.
+  EXPECT_GE(r.engine.energy_joules, 0.0);
+  EXPECT_LE(r.engine.busy_tpc_seconds,
+            54.0 * (r.engine.elapsed_seconds + 1e-9) * 1.001);
+
+  // Determinism: an identical re-run is bit-identical.
+  const StackingResult again = RunStacking(cfg, {hp, be});
+  EXPECT_DOUBLE_EQ(r.apps[0].p99_ms, again.apps[0].p99_ms);
+  EXPECT_EQ(r.apps[0].completed, again.apps[0].completed);
+  EXPECT_DOUBLE_EQ(r.apps[1].iterations_per_s, again.apps[1].iterations_per_s);
+}
+
+std::vector<SweepCase> MakeCases() {
+  std::vector<SweepCase> cases;
+  for (SystemKind system : AllSystems()) {
+    cases.push_back({system, "BERT", "ResNet", true});
+    cases.push_back({system, "YOLO", "DLRM", true});
+    cases.push_back({system, "GPT-J", "BERT", false});
+  }
+  return cases;
+}
+
+std::string CaseName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = SystemName(info.param.system) + "_" + info.param.hp_model + "_" +
+                     info.param.be_model + (info.param.be_training ? "_train" : "_inf");
+  for (char& ch : name) {
+    if (!std::isalnum(static_cast<unsigned char>(ch))) {
+      ch = '_';
+    }
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystemsMixes, SystemSweepTest, ::testing::ValuesIn(MakeCases()),
+                         CaseName);
+
+}  // namespace
+}  // namespace lithos
