@@ -1,0 +1,99 @@
+// Cluster serving: the fleet-scale consolidation experiment motivated by the
+// production study of Section 3. Thirteen models with a several-hundred-x
+// popularity spread and diurnal traffic (Figs. 1, 4-6) are served by a pool
+// of per-GPU LithOS stacks behind a placement policy. Two sweeps:
+//
+//   1. Rightsizing the pool: for each policy, the smallest node count whose
+//      p99 stays under the SLO — GPUs needed falls as the policy improves
+//      from round-robin to least-loaded to model-affinity.
+//   2. Consolidation at fixed pool size: versus the dedicated one-GPU-per-
+//      model deployment (13 GPUs at 27% mean utilization in the paper),
+//      model-affinity packs the cold tail and frees whole GPUs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cluster/cluster.h"
+#include "src/common/table.h"
+
+using namespace lithos;
+
+namespace {
+
+constexpr double kSloMs = 45.0;       // p99 target for the rightsizing sweep
+constexpr int kDedicatedGpus = 13;    // one GPU per fleet model
+
+ClusterConfig BaseConfig(PlacementPolicy policy, int num_nodes) {
+  ClusterConfig config;
+  config.policy = policy;
+  config.num_nodes = num_nodes;
+  config.system = SystemKind::kLithos;
+  config.aggregate_rps = 700.0;
+  config.seconds_per_day = 6.0;       // one compressed diurnal cycle per run
+  config.warmup = FromSeconds(1);
+  config.duration = FromSeconds(6);
+  config.seed = 2026;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Cluster serving: placement policy vs fleet utilization and GPU count",
+      "Section 3 (Figs. 1, 4-6) — consolidating the 13-model fleet onto shared GPUs");
+
+  // --- Sweep 1: smallest pool meeting the SLO per policy --------------------
+  std::printf("\nPool rightsizing: min nodes with p99 <= %.0f ms (diurnal traffic, %.0f rps)\n",
+              kSloMs, BaseConfig(PlacementPolicy::kRoundRobin, 1).aggregate_rps);
+  Table sizing({"policy", "GPUs needed", "GPUs used", "goodput util%", "busy util%", "p99 ms",
+                "switches/s", "saved vs 13"});
+  for (PlacementPolicy policy : AllPlacementPolicies()) {
+    ClusterResult best;
+    bool met = false;
+    for (int n = 1; n <= kDedicatedGpus; ++n) {
+      const ClusterResult r = RunClusterServing(BaseConfig(policy, n));
+      if (r.p99_ms <= kSloMs && r.completed > 0) {
+        best = r;
+        met = true;
+        break;
+      }
+      best = r;  // keep the largest-pool attempt for reporting if never met
+    }
+    sizing.AddRow({PlacementPolicyName(policy),
+                   met ? std::to_string(best.num_nodes) : ">" + std::to_string(kDedicatedGpus),
+                   std::to_string(best.nodes_used),
+                   Table::Num(100 * best.goodput_utilization, 1),
+                   Table::Num(100 * best.used_utilization, 1), Table::Num(best.p99_ms, 1),
+                   Table::Num(static_cast<double>(best.total_model_switches) /
+                                  ToSeconds(BaseConfig(policy, 1).duration),
+                              0),
+                   std::to_string(kDedicatedGpus - best.nodes_used)});
+  }
+  sizing.Print();
+
+  // --- Sweep 2: consolidation at the dedicated-deployment pool size ---------
+  std::printf("\nConsolidation at a fixed %d-node pool (the dedicated deployment's size)\n",
+              kDedicatedGpus);
+  Table fixed({"policy", "GPUs used", "goodput util%", "used util%", "p99 ms", "models/GPU",
+               "GPUs saved"});
+  for (PlacementPolicy policy : AllPlacementPolicies()) {
+    const ClusterResult r = RunClusterServing(BaseConfig(policy, kDedicatedGpus));
+    fixed.AddRow({PlacementPolicyName(policy), std::to_string(r.nodes_used),
+                  Table::Num(100 * r.goodput_utilization, 1),
+                  Table::Num(100 * r.used_utilization, 1), Table::Num(r.p99_ms, 1),
+                  Table::Num(r.mean_models_per_node, 1),
+                  std::to_string(r.gpus_saved_vs_dedicated)});
+  }
+  fixed.Print();
+
+  // --- Sweep 3: node-count scaling under the best policy --------------------
+  std::printf("\nNode-count sweep under model-affinity (p99 and utilization vs pool size)\n");
+  Table scaling({"nodes", "p99 ms", "mean ms", "fleet util%", "throughput rps"});
+  for (int n = 2; n <= kDedicatedGpus; n += 2) {
+    const ClusterResult r = RunClusterServing(BaseConfig(PlacementPolicy::kModelAffinity, n));
+    scaling.AddRow({std::to_string(n), Table::Num(r.p99_ms, 1), Table::Num(r.mean_ms, 2),
+                    Table::Num(100 * r.fleet_utilization, 1), Table::Num(r.throughput_rps, 0)});
+  }
+  scaling.Print();
+  return 0;
+}

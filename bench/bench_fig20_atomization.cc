@@ -23,18 +23,6 @@ const std::vector<SystemVariant> kVariants = {
     {"LithOS", SystemKind::kLithos, true},
 };
 
-double RunP95(const SystemVariant& v, const AppSpec& hp, const AppSpec& be) {
-  StackingConfig cfg;
-  cfg.system = v.kind;
-  cfg.lithos.enable_atomization = v.atomization;
-  cfg.warmup = kWarmup;
-  cfg.duration = FromSeconds(6);
-  AppSpec h = hp, b = be;
-  AssignHybridQuotas(cfg.system, GpuSpec::A100(), &h, &b);
-  const StackingResult r = RunStacking(cfg, {h, b});
-  return r.apps[0].p95_ms;
-}
-
 }  // namespace
 
 int main() {

@@ -1,0 +1,35 @@
+// Fleet serving in ~40 lines: run the thirteen-model production workload of
+// Section 3 across a pool of per-GPU LithOS stacks and compare placement
+// policies. See bench/bench_cluster_serving.cc for the full sweep.
+#include <cstdio>
+
+#include "src/cluster/cluster.h"
+
+using namespace lithos;
+
+int main() {
+  std::printf("Serving the 13-model diurnal fleet on a 6-GPU pool:\n\n");
+  std::printf("%-16s %10s %12s %10s %12s\n", "policy", "GPUs used", "goodput%", "p99 ms",
+              "switches");
+
+  for (PlacementPolicy policy : AllPlacementPolicies()) {
+    ClusterConfig config;
+    config.policy = policy;
+    config.num_nodes = 6;
+    config.system = SystemKind::kLithos;
+    config.aggregate_rps = 400.0;
+    config.affinity_target_util = 0.35;  // pack loosely enough to ride the peak
+    config.seconds_per_day = 5.0;        // compress one diurnal cycle into the run
+    config.warmup = FromSeconds(1);
+    config.duration = FromSeconds(5);
+
+    const ClusterResult r = RunClusterServing(config);
+    std::printf("%-16s %10d %12.1f %10.1f %12llu\n", PlacementPolicyName(policy).c_str(),
+                r.nodes_used, 100 * r.goodput_utilization, r.p99_ms,
+                static_cast<unsigned long long>(r.total_model_switches));
+  }
+
+  std::printf("\nModel-affinity packs the cold tail onto fewer GPUs (freeing the rest)\n");
+  std::printf("and cuts model switches, at comparable tail latency.\n");
+  return 0;
+}

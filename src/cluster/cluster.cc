@@ -1,0 +1,248 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.h"
+#include "src/gpu/kernel.h"
+
+namespace lithos {
+
+// --- GpuNode -----------------------------------------------------------------
+
+GpuNode::GpuNode(Simulator* sim, int id, const GpuSpec& spec, SystemKind system,
+                 const LithosConfig& config)
+    : sim_(sim),
+      id_(id),
+      system_(system),
+      engine_(sim, spec),
+      driver_(sim, &engine_),
+      backend_(MakeBackend(system, sim, &engine_, config)) {
+  driver_.SetBackend(backend_.get());
+}
+
+// --- ClusterDispatcher -------------------------------------------------------
+
+ClusterDispatcher::ClusterDispatcher(Simulator* sim, const ClusterConfig& config)
+    : sim_(sim), config_(config), fleet_(config.seed) {
+  LITHOS_CHECK_GT(config_.num_nodes, 0);
+  LITHOS_CHECK_GT(config_.aggregate_rps, 0.0);
+
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    nodes_.push_back(
+        std::make_unique<GpuNode>(sim_, n, config_.spec, config_.system, config_.lithos));
+  }
+
+  const std::vector<FleetModel>& models = fleet_.models();
+  placer_ = MakePlacer(config_.policy, models, config_.num_nodes, config_.aggregate_rps,
+                       config_.affinity_target_util);
+
+  model_share_ = PopularityShares(models);
+  for (size_t i = 0; i < models.size(); ++i) {
+    const FleetModel& m = models[i];
+    // Request kernel: the model's mean GPU cost per request at full device,
+    // with a device-filling grid — inference batches saturate the GPU they
+    // run on, so concurrent requests share TPCs and a node behaves like a
+    // processor-sharing queue of ~1 GPU-second of work per second.
+    const uint32_t blocks = static_cast<uint32_t>(864 + 32 * m.size);
+    request_kernels_.push_back(MakeKernel("fleet/" + m.id, blocks, FromMillis(m.cost_ms), 0.92,
+                                          0.6, config_.spec));
+    // Switch kernel: memory-bound weight load proportional to model size;
+    // weakly parallel and frequency-insensitive. Never launched when the
+    // configured switch cost is zero (the floor only keeps MakeKernel's
+    // coefficient solve well-defined).
+    const double switch_ms = config_.switch_cost_ms_per_size * m.size;
+    switch_kernels_.push_back(MakeKernel("load/" + m.id, 256,
+                                         FromMillis(std::max(0.001, switch_ms)), 0.6, 0.1,
+                                         config_.spec));
+    arrival_rng_.emplace_back(config_.seed * 1315423911u + i * 2654435761u + 17);
+  }
+
+  node_state_.resize(config_.num_nodes);
+  for (NodeState& state : node_state_) {
+    state.model_streams.assign(models.size(), nullptr);
+  }
+  outstanding_ms_.assign(config_.num_nodes, 0.0);
+
+  // Peak of the diurnal curve, used as the thinning envelope for arrivals.
+  peak_norm_ = 1.0;
+  if (config_.seconds_per_day > 0) {
+    for (double day = 0; day < 1.0; day += 1.0 / 288.0) {
+      peak_norm_ = std::max(peak_norm_, fleet_.NormalizedRps(day));
+    }
+    peak_norm_ *= 1.05;  // margin for the weekly drift term
+  }
+}
+
+Stream* ClusterDispatcher::StreamFor(int node, int model_index) {
+  NodeState& state = node_state_[node];
+  Stream*& stream = state.model_streams[model_index];
+  if (stream == nullptr) {
+    const FleetModel& m = fleet_.models()[model_index];
+    Client* client = nodes_[node]->driver()->CuCtxCreate(
+        "fleet/" + m.id, PriorityClass::kHighPriority, /*tpc_quota=*/0, m.size);
+    stream = nodes_[node]->driver()->CuStreamCreate(client);
+  }
+  return stream;
+}
+
+double ClusterDispatcher::RateNow(int model_index) const {
+  double rate = config_.aggregate_rps * model_share_[model_index];
+  if (config_.seconds_per_day > 0) {
+    const double day = ToSeconds(sim_->Now()) / config_.seconds_per_day;
+    rate *= fleet_.NormalizedRps(day);
+  }
+  return rate;
+}
+
+void ClusterDispatcher::ScheduleNextArrival(int model_index, TimeNs until) {
+  // Non-homogeneous Poisson arrivals by Lewis thinning: draw gaps at the
+  // model's peak rate, then accept each candidate with probability
+  // rate(now) / peak so per-model traffic tracks the diurnal curve exactly
+  // (a gap drawn at trough rate can no longer persist through the peak).
+  const double peak_rate = config_.aggregate_rps * model_share_[model_index] * peak_norm_;
+  if (peak_rate <= 0) {
+    return;
+  }
+  const DurationNs gap = FromSeconds(arrival_rng_[model_index].Exponential(1.0 / peak_rate));
+  const TimeNs at = sim_->Now() + std::max<DurationNs>(gap, 1);
+  if (at >= until) {
+    return;
+  }
+  sim_->ScheduleAt(at, [this, model_index, until, peak_rate] {
+    if (arrival_rng_[model_index].NextDouble() * peak_rate <= RateNow(model_index)) {
+      Dispatch(model_index);
+    }
+    ScheduleNextArrival(model_index, until);
+  });
+}
+
+void ClusterDispatcher::StartArrivals(TimeNs until) {
+  for (size_t i = 0; i < fleet_.models().size(); ++i) {
+    ScheduleNextArrival(static_cast<int>(i), until);
+  }
+}
+
+int ClusterDispatcher::Dispatch(int model_index) {
+  const int node = placer_->Place(model_index, outstanding_ms_);
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, config_.num_nodes);
+
+  NodeState& state = node_state_[node];
+  const FleetModel& model = fleet_.models()[model_index];
+  const bool measured = sim_->Now() >= warmup_end_;
+  ++dispatched_;
+  ++state.dispatched;
+  if (measured) {
+    ++state.dispatched_measured;
+  }
+  state.models_seen.insert(model_index);
+
+  Stream* stream = StreamFor(node, model_index);
+  Driver* driver = nodes_[node]->driver();
+
+  double cost_ms = model.cost_ms;
+  // Charge a model switch when this node's previous launch served another
+  // model (weight load / cache refill before the request can run). The
+  // node's very first request is a cold-start load and counts too.
+  if (state.last_model != model_index) {
+    const double switch_ms = config_.switch_cost_ms_per_size * model.size;
+    if (switch_ms > 0) {
+      driver->CuLaunchKernel(stream, &switch_kernels_[model_index]);
+      cost_ms += switch_ms;
+      if (measured) {
+        ++state.switches_measured;
+      }
+    }
+    state.last_model = model_index;
+  }
+  driver->CuLaunchKernel(stream, &request_kernels_[model_index]);
+
+  outstanding_ms_[node] += cost_ms;
+  const TimeNs arrival = sim_->Now();
+  const double request_ms = model.cost_ms;
+  driver->CuStreamAddCallback(stream, [this, node, arrival, cost_ms, request_ms] {
+    outstanding_ms_[node] = std::max(0.0, outstanding_ms_[node] - cost_ms);
+    ++completed_;
+    if (arrival >= warmup_end_) {
+      ++node_state_[node].completed_measured;
+      latency_ms_.Add(ToMillis(sim_->Now() - arrival));
+      completed_request_ms_ += request_ms;
+    }
+  });
+  return node;
+}
+
+ClusterResult ClusterDispatcher::Collect(DurationNs measured) {
+  ClusterResult result;
+  result.policy = config_.policy;
+  result.num_nodes = config_.num_nodes;
+  result.mean_ms = latency_ms_.Mean();
+  result.p50_ms = latency_ms_.Percentile(50);
+  result.p99_ms = latency_ms_.P99();
+  const double secs = ToSeconds(measured);
+  result.throughput_rps =
+      secs > 0 ? static_cast<double>(latency_ms_.count()) / secs : 0.0;
+
+  double busy_total = 0;
+  double capacity_total = 0;
+  double busy_used = 0;
+  double capacity_used = 0;
+  double models_on_used = 0;
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    const EngineStats& engine = nodes_[n]->engine()->Stats();
+    ClusterNodeStats ns;
+    ns.node_id = n;
+    ns.dispatched = node_state_[n].dispatched_measured;
+    ns.completed = node_state_[n].completed_measured;
+    ns.model_switches = node_state_[n].switches_measured;
+    ns.distinct_models = static_cast<int>(node_state_[n].models_seen.size());
+    ns.busy_tpc_seconds = engine.busy_tpc_seconds;
+    ns.energy_joules = engine.energy_joules;
+    ns.driver_launches = nodes_[n]->driver()->launches_issued();
+    const double capacity = engine.elapsed_seconds * config_.spec.TotalTpcs();
+    ns.utilization = capacity > 0 ? engine.busy_tpc_seconds / capacity : 0.0;
+
+    busy_total += engine.busy_tpc_seconds;
+    capacity_total += capacity;
+    // A node counts as used if the policy ever routed to it (lifetime), so
+    // warm-up-only traffic still marks a GPU as occupied.
+    if (node_state_[n].dispatched > 0) {
+      ++result.nodes_used;
+      busy_used += engine.busy_tpc_seconds;
+      capacity_used += capacity;
+      models_on_used += ns.distinct_models;
+    }
+    result.dispatched += ns.dispatched;
+    result.completed += ns.completed;
+    result.total_model_switches += ns.model_switches;
+    result.nodes.push_back(ns);
+  }
+  result.fleet_utilization = capacity_total > 0 ? busy_total / capacity_total : 0.0;
+  result.used_utilization = capacity_used > 0 ? busy_used / capacity_used : 0.0;
+  // Serial-equivalent request GPU-ms over the used pool's GPU-ms.
+  const double used_gpu_ms = result.nodes_used * secs * 1000.0;
+  result.goodput_utilization = used_gpu_ms > 0 ? completed_request_ms_ / used_gpu_ms : 0.0;
+  result.gpus_saved_vs_dedicated =
+      static_cast<int>(fleet_.models().size()) - result.nodes_used;
+  result.mean_models_per_node =
+      result.nodes_used > 0 ? models_on_used / result.nodes_used : 0.0;
+  return result;
+}
+
+ClusterResult RunClusterServing(const ClusterConfig& config) {
+  Simulator sim;
+  ClusterDispatcher dispatcher(&sim, config);
+  const TimeNs horizon = config.warmup + config.duration;
+  dispatcher.SetWarmupEnd(config.warmup);
+  dispatcher.StartArrivals(horizon);
+  sim.ScheduleAt(config.warmup, [&dispatcher] {
+    for (const std::unique_ptr<GpuNode>& node : dispatcher.nodes()) {
+      node->engine()->ResetStats();
+    }
+  });
+  sim.RunUntil(horizon);
+  return dispatcher.Collect(config.duration);
+}
+
+}  // namespace lithos

@@ -1,0 +1,194 @@
+#include "src/cluster/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.h"
+
+namespace lithos {
+
+std::string PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin:
+      return "round-robin";
+    case PlacementPolicy::kLeastLoaded:
+      return "least-loaded";
+    case PlacementPolicy::kModelAffinity:
+      return "model-affinity";
+  }
+  return "?";
+}
+
+std::vector<PlacementPolicy> AllPlacementPolicies() {
+  return {PlacementPolicy::kRoundRobin, PlacementPolicy::kLeastLoaded,
+          PlacementPolicy::kModelAffinity};
+}
+
+std::vector<int> Placer::EligibleNodes(int model_index) const {
+  (void)model_index;
+  std::vector<int> all(num_nodes_);
+  std::iota(all.begin(), all.end(), 0);
+  return all;
+}
+
+namespace {
+
+// Least-loaded choice among `candidates`, ties broken by lowest index so a
+// given request sequence always produces the same placement.
+int ArgMinOutstanding(const std::vector<int>& candidates,
+                      const std::vector<double>& outstanding_ms) {
+  LITHOS_CHECK(!candidates.empty());
+  int best = candidates[0];
+  for (int node : candidates) {
+    if (outstanding_ms[node] < outstanding_ms[best]) {
+      best = node;
+    }
+  }
+  return best;
+}
+
+class RoundRobinPlacer : public Placer {
+ public:
+  RoundRobinPlacer(int num_nodes, int num_models) : Placer(num_nodes, num_models) {}
+
+  std::string Name() const override { return PlacementPolicyName(PlacementPolicy::kRoundRobin); }
+
+  int Place(int model_index, const std::vector<double>& outstanding_ms) override {
+    (void)model_index;
+    (void)outstanding_ms;
+    const int node = next_;
+    next_ = (next_ + 1) % num_nodes_;
+    return node;
+  }
+
+ private:
+  int next_ = 0;
+};
+
+class LeastLoadedPlacer : public Placer {
+ public:
+  LeastLoadedPlacer(int num_nodes, int num_models) : Placer(num_nodes, num_models) {}
+
+  std::string Name() const override { return PlacementPolicyName(PlacementPolicy::kLeastLoaded); }
+
+  int Place(int model_index, const std::vector<double>& outstanding_ms) override {
+    (void)model_index;
+    int best = 0;
+    for (int node = 1; node < num_nodes_; ++node) {
+      if (outstanding_ms[node] < outstanding_ms[best]) {
+        best = node;
+      }
+    }
+    return best;
+  }
+};
+
+// First-fit-decreasing packer. Each model's expected load (requests/s x GPU
+// ms/request) is placed into per-node bins of capacity
+// target_utilization * 1000 GPU-ms per second. Models hotter than one bin
+// get ceil(load/capacity) replicas on the least-filled nodes; the cold tail
+// first-fits into the lowest-index bin with room, so high-index nodes stay
+// empty and can be powered off or reclaimed.
+class ModelAffinityPlacer : public Placer {
+ public:
+  ModelAffinityPlacer(const std::vector<FleetModel>& models, int num_nodes, double aggregate_rps,
+                      double target_utilization)
+      : Placer(num_nodes, static_cast<int>(models.size())) {
+    LITHOS_CHECK_GT(target_utilization, 0.0);
+    eligible_.resize(models.size());
+
+    // Expected GPU-ms per wall second demanded by each model, using the same
+    // popularity shares the dispatcher splits its arrival rate by.
+    const std::vector<double> shares = PopularityShares(models);
+    std::vector<double> load_ms(models.size());
+    for (size_t i = 0; i < models.size(); ++i) {
+      load_ms[i] = aggregate_rps * shares[i] * models[i].cost_ms;
+    }
+
+    // One node can execute ~1000 GPU-ms per second; fill to the target.
+    const double capacity = target_utilization * 1000.0;
+
+    std::vector<size_t> order(models.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&load_ms](size_t a, size_t b) { return load_ms[a] > load_ms[b]; });
+
+    std::vector<double> bin(num_nodes, 0.0);
+    for (size_t model : order) {
+      const double need = load_ms[model];
+      int replicas = std::max(1, static_cast<int>(std::ceil(need / capacity)));
+      replicas = std::min(replicas, num_nodes);
+      if (replicas == 1) {
+        // First-fit: the lowest-index node with room; overflow onto the
+        // least-filled node when every bin is full.
+        int chosen = -1;
+        for (int n = 0; n < num_nodes; ++n) {
+          if (bin[n] + need <= capacity) {
+            chosen = n;
+            break;
+          }
+        }
+        if (chosen < 0) {
+          chosen = static_cast<int>(std::min_element(bin.begin(), bin.end()) - bin.begin());
+        }
+        bin[chosen] += need;
+        eligible_[model] = {chosen};
+      } else {
+        // Hot model: spread its replicas over the currently least-filled
+        // nodes and split the load evenly among them.
+        std::vector<int> by_load(num_nodes);
+        std::iota(by_load.begin(), by_load.end(), 0);
+        std::sort(by_load.begin(), by_load.end(), [&bin](int a, int b) {
+          if (bin[a] != bin[b]) {
+            return bin[a] < bin[b];
+          }
+          return a < b;
+        });
+        for (int r = 0; r < replicas; ++r) {
+          const int n = by_load[r];
+          bin[n] += need / replicas;
+          eligible_[model].push_back(n);
+        }
+        std::sort(eligible_[model].begin(), eligible_[model].end());
+      }
+    }
+  }
+
+  std::string Name() const override {
+    return PlacementPolicyName(PlacementPolicy::kModelAffinity);
+  }
+
+  int Place(int model_index, const std::vector<double>& outstanding_ms) override {
+    LITHOS_CHECK_GE(model_index, 0);
+    LITHOS_CHECK_LT(model_index, static_cast<int>(eligible_.size()));
+    return ArgMinOutstanding(eligible_[model_index], outstanding_ms);
+  }
+
+  std::vector<int> EligibleNodes(int model_index) const override {
+    return eligible_[model_index];
+  }
+
+ private:
+  std::vector<std::vector<int>> eligible_;  // model -> packed replica set
+};
+
+}  // namespace
+
+std::unique_ptr<Placer> MakePlacer(PlacementPolicy policy, const std::vector<FleetModel>& models,
+                                   int num_nodes, double aggregate_rps,
+                                   double target_utilization) {
+  LITHOS_CHECK_GT(num_nodes, 0);
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin:
+      return std::make_unique<RoundRobinPlacer>(num_nodes, static_cast<int>(models.size()));
+    case PlacementPolicy::kLeastLoaded:
+      return std::make_unique<LeastLoadedPlacer>(num_nodes, static_cast<int>(models.size()));
+    case PlacementPolicy::kModelAffinity:
+      return std::make_unique<ModelAffinityPlacer>(models, num_nodes, aggregate_rps,
+                                                   target_utilization);
+  }
+  return nullptr;
+}
+
+}  // namespace lithos

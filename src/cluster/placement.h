@@ -1,0 +1,79 @@
+// Placement policies for the multi-GPU cluster dispatcher.
+//
+// The paper's production study (Section 3) motivates fleet-level
+// consolidation: thirteen models with a several-hundred-x popularity spread
+// average 27% device utilization when each service owns its own GPUs. The
+// cluster layer routes the same diurnal traffic across a shared pool of
+// LithOS nodes; the policies below span the consolidation spectrum:
+//
+//   * round-robin       — load-oblivious spraying (the strawman),
+//   * least-outstanding — classic join-shortest-queue on queued GPU work,
+//   * model-affinity    — bin-packs expected per-model load onto as few
+//                         nodes as possible (first-fit decreasing), giving
+//                         hot models dedicated replicas and packing the
+//                         long tail of cold models together so whole GPUs
+//                         are freed — the paper's consolidation argument.
+#ifndef LITHOS_CLUSTER_PLACEMENT_H_
+#define LITHOS_CLUSTER_PLACEMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/workloads/fleet.h"
+
+namespace lithos {
+
+enum class PlacementPolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kModelAffinity,
+};
+
+std::string PlacementPolicyName(PlacementPolicy policy);
+// All policies in increasing order of sophistication.
+std::vector<PlacementPolicy> AllPlacementPolicies();
+
+// Strategy interface: picks the node that should serve the next request.
+class Placer {
+ public:
+  virtual ~Placer() = default;
+  Placer() = default;
+  Placer(const Placer&) = delete;
+  Placer& operator=(const Placer&) = delete;
+
+  virtual std::string Name() const = 0;
+
+  // Returns the node index ([0, num_nodes)) for a request of
+  // `models[model_index]`. `outstanding_ms` is the dispatcher's live
+  // estimate of queued-but-unfinished GPU milliseconds per node.
+  virtual int Place(int model_index, const std::vector<double>& outstanding_ms) = 0;
+
+  // Nodes this policy will ever route `model_index` to. Round-robin and
+  // least-loaded replicate every model everywhere; model-affinity restricts
+  // each model to its packed replica set.
+  virtual std::vector<int> EligibleNodes(int model_index) const;
+
+  int num_nodes() const { return num_nodes_; }
+  int num_models() const { return num_models_; }
+
+ protected:
+  Placer(int num_nodes, int num_models) : num_nodes_(num_nodes), num_models_(num_models) {}
+
+  int num_nodes_ = 0;
+  int num_models_ = 0;
+};
+
+// Builds a placer.
+//
+// `aggregate_rps` is the fleet-wide mean request rate and
+// `target_utilization` the per-node GPU-time budget the affinity packer
+// fills to (both ignored by the load-oblivious policies). Construction is
+// deterministic: the same inputs always produce the same packing.
+std::unique_ptr<Placer> MakePlacer(PlacementPolicy policy, const std::vector<FleetModel>& models,
+                                   int num_nodes, double aggregate_rps,
+                                   double target_utilization);
+
+}  // namespace lithos
+
+#endif  // LITHOS_CLUSTER_PLACEMENT_H_

@@ -5,6 +5,7 @@
 #include "src/baselines/concurrent_backends.h"
 #include "src/baselines/partition_backend.h"
 #include "src/baselines/timeslice_backend.h"
+#include "src/cluster/cluster.h"
 #include "src/common/check.h"
 #include "src/core/lithos_backend.h"
 #include "src/driver/driver.h"
@@ -150,36 +151,48 @@ AppResult CollectOpenLoop(const AppSpec& app, const RequestRecorder& rec, TimeNs
 }  // namespace
 
 StackingResult RunStacking(const StackingConfig& config, const std::vector<AppSpec>& apps) {
-  Simulator sim;
-  ExecutionEngine engine(&sim, config.spec);
-  Driver driver(&sim, &engine);
-  auto backend = MakeBackend(config.system, &sim, &engine, config.lithos);
-  driver.SetBackend(backend.get());
+  return RunStackingFleet(config, apps, /*num_nodes=*/1).per_node[0];
+}
 
+FleetStackingResult RunStackingFleet(const StackingConfig& config,
+                                     const std::vector<AppSpec>& apps, int num_nodes) {
+  LITHOS_CHECK_GT(num_nodes, 0);
+  Simulator sim;
   const TimeNs horizon = config.warmup + config.duration;
+
+  // One full per-GPU stack per node; app i lands on node i % num_nodes.
+  std::vector<std::unique_ptr<GpuNode>> nodes;
+  for (int n = 0; n < num_nodes; ++n) {
+    nodes.push_back(std::make_unique<GpuNode>(&sim, n, config.spec, config.system, config.lithos));
+  }
 
   std::vector<ServingApp> serving(apps.size());
   std::vector<std::unique_ptr<ClosedLoopRunner>> runners(apps.size());
 
   for (size_t i = 0; i < apps.size(); ++i) {
     const AppSpec& app = apps[i];
-    Client* client = driver.CuCtxCreate(
+    Driver* driver = nodes[i % num_nodes]->driver();
+    Client* client = driver->CuCtxCreate(
         app.model + "/" + std::to_string(i),
         app.IsHighPriority() ? PriorityClass::kHighPriority : PriorityClass::kBestEffort,
         app.quota_tpcs);
     if (app.IsOpenLoop()) {
-      serving[i] = MakeServingApp(&driver, client, app, config.spec, config.seed + i * 101,
+      serving[i] = MakeServingApp(driver, client, app, config.spec, config.seed + i * 101,
                                   horizon);
       serving[i].recorder->SetWarmupEnd(config.warmup);
     } else {
-      runners[i] = std::make_unique<ClosedLoopRunner>(&driver, client, BeProfile(app, config.spec));
+      runners[i] = std::make_unique<ClosedLoopRunner>(driver, client, BeProfile(app, config.spec));
       runners[i]->SetWarmupEnd(config.warmup);
       runners[i]->Start();
     }
   }
 
-  // Drop warm-up effects from the engine's power/capacity integrals too.
-  sim.ScheduleAt(config.warmup, [&engine] { engine.ResetStats(); });
+  // Drop warm-up effects from every engine's power/capacity integrals too.
+  sim.ScheduleAt(config.warmup, [&nodes] {
+    for (auto& node : nodes) {
+      node->engine()->ResetStats();
+    }
+  });
 
   sim.RunUntil(horizon);
   // Stop closed loops so the final drain terminates.
@@ -189,34 +202,43 @@ StackingResult RunStacking(const StackingConfig& config, const std::vector<AppSp
     }
   }
 
-  StackingResult result;
-  result.system = config.system;
-  result.measured_seconds = ToSeconds(config.duration);
-  result.engine = engine.Stats();
+  FleetStackingResult fleet;
+  double busy = 0;
+  double capacity = 0;
+  for (int n = 0; n < num_nodes; ++n) {
+    StackingResult result;
+    result.system = config.system;
+    result.measured_seconds = ToSeconds(config.duration);
+    result.engine = nodes[n]->engine()->Stats();
+    busy += result.engine.busy_tpc_seconds;
+    capacity += result.engine.elapsed_seconds * config.spec.TotalTpcs();
 
-  if (auto* lithos = dynamic_cast<LithosBackend*>(backend.get())) {
-    const PredictionStats& pstats = lithos->predictor().stats();
-    result.predictor_predictions = pstats.predictions;
-    result.predictor_mispred_rate = pstats.MispredictionRate();
-    result.predictor_err_p99_us = pstats.abs_error_us.P99();
-    result.atoms_dispatched = lithos->atoms_dispatched();
-    result.tpcs_stolen = lithos->tpc_scheduler().stats().tpcs_stolen;
-  }
-
-  for (size_t i = 0; i < apps.size(); ++i) {
-    const AppSpec& app = apps[i];
-    if (app.IsOpenLoop()) {
-      result.apps.push_back(CollectOpenLoop(app, *serving[i].recorder, horizon));
-    } else {
-      AppResult r;
-      r.model = app.model;
-      r.role = app.role;
-      r.iterations_per_s = runners[i]->FractionalIterations() / ToSeconds(config.duration);
-      r.iteration_p50_ms = runners[i]->iteration_ms().Percentile(50);
-      result.apps.push_back(r);
+    if (auto* lithos = dynamic_cast<LithosBackend*>(nodes[n]->backend())) {
+      const PredictionStats& pstats = lithos->predictor().stats();
+      result.predictor_predictions = pstats.predictions;
+      result.predictor_mispred_rate = pstats.MispredictionRate();
+      result.predictor_err_p99_us = pstats.abs_error_us.P99();
+      result.atoms_dispatched = lithos->atoms_dispatched();
+      result.tpcs_stolen = lithos->tpc_scheduler().stats().tpcs_stolen;
     }
+
+    for (size_t i = n; i < apps.size(); i += num_nodes) {
+      const AppSpec& app = apps[i];
+      if (app.IsOpenLoop()) {
+        result.apps.push_back(CollectOpenLoop(app, *serving[i].recorder, horizon));
+      } else {
+        AppResult r;
+        r.model = app.model;
+        r.role = app.role;
+        r.iterations_per_s = runners[i]->FractionalIterations() / ToSeconds(config.duration);
+        r.iteration_p50_ms = runners[i]->iteration_ms().Percentile(50);
+        result.apps.push_back(r);
+      }
+    }
+    fleet.per_node.push_back(std::move(result));
   }
-  return result;
+  fleet.fleet_utilization = capacity > 0 ? busy / capacity : 0.0;
+  return fleet;
 }
 
 AppResult RunSolo(const AppSpec& app, const GpuSpec& spec, DurationNs duration, uint64_t seed) {

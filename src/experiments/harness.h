@@ -117,6 +117,20 @@ struct StackingConfig {
 // Runs a multi-tenant stacking scenario and returns per-app metrics.
 StackingResult RunStacking(const StackingConfig& config, const std::vector<AppSpec>& apps);
 
+// --- Fleet mode --------------------------------------------------------------
+
+// A per-GPU stacking experiment replicated across a cluster of identical
+// nodes sharing one simulated clock (src/cluster). App i runs on node
+// i % num_nodes; every node gets its own engine, driver, and backend.
+struct FleetStackingResult {
+  std::vector<StackingResult> per_node;
+  // Busy TPC-seconds over capacity, summed across the whole fleet.
+  double fleet_utilization = 0;
+};
+
+FleetStackingResult RunStackingFleet(const StackingConfig& config,
+                                     const std::vector<AppSpec>& apps, int num_nodes);
+
 // Runs one app alone on the device (native scheduling, no interference) to
 // obtain the normalisation baselines the paper's figures use ("ideal").
 AppResult RunSolo(const AppSpec& app, const GpuSpec& spec = GpuSpec::A100(),

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/check.h"
+
 namespace lithos {
 
 namespace {
@@ -35,6 +37,20 @@ FleetTelemetry::FleetTelemetry(uint64_t seed) : rng_(seed) {
     m.cost_ms = 0.8 * m.size * rng_.Uniform(0.7, 1.3);
     models_.push_back(m);
   }
+}
+
+std::vector<double> PopularityShares(const std::vector<FleetModel>& models) {
+  double total = 0;
+  for (const FleetModel& m : models) {
+    total += m.popularity;
+  }
+  LITHOS_CHECK_GT(total, 0.0);  // all-zero popularity would yield NaN shares
+  std::vector<double> shares;
+  shares.reserve(models.size());
+  for (const FleetModel& m : models) {
+    shares.push_back(m.popularity / total);
+  }
+  return shares;
 }
 
 double FleetTelemetry::NormalizedRps(double day) const {

@@ -23,6 +23,11 @@ struct FleetModel {
   double cost_ms = 0;       // mean GPU ms per request
 };
 
+// Per-model fraction of fleet request traffic; sums to 1. The cluster
+// dispatcher splits its aggregate arrival rate by these shares, and the
+// model-affinity packer sizes its bins with them.
+std::vector<double> PopularityShares(const std::vector<FleetModel>& models);
+
 struct FleetSample {
   double day = 0;                  // time in days
   double normalized_rps = 0;       // mean-normalised traffic (Fig. 4)

@@ -4,6 +4,7 @@
 // complete exactly once.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <set>
 #include <vector>
@@ -49,7 +50,9 @@ TEST_P(EngineFuzzTest, EveryGrantCompletesOrAbortsExactlyOnce) {
       const int action = static_cast<int>(rng.UniformInt(0, 9));
       // Prune dead ids lazily.
       auto prune = [&](std::vector<GrantId>& v) {
-        std::erase_if(v, [&](GrantId g) { return !engine.IsActive(g); });
+        v.erase(std::remove_if(v.begin(), v.end(),
+                               [&](GrantId g) { return !engine.IsActive(g); }),
+                v.end());
       };
       prune(live);
       prune(paused);
