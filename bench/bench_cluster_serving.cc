@@ -42,6 +42,8 @@ int main() {
       "Cluster serving: placement policy vs fleet utilization and GPU count",
       "Section 3 (Figs. 1, 4-6) — consolidating the 13-model fleet onto shared GPUs");
 
+  bench::JsonEmitter json("cluster_serving");
+
   // --- Sweep 1: smallest pool meeting the SLO per policy --------------------
   std::printf("\nPool rightsizing: min nodes with p99 <= %.0f ms (diurnal traffic, %.0f rps)\n",
               kSloMs, BaseConfig(PlacementPolicy::kRoundRobin, 1).aggregate_rps);
@@ -68,6 +70,10 @@ int main() {
                                   ToSeconds(BaseConfig(policy, 1).duration),
                               0),
                    std::to_string(kDedicatedGpus - best.nodes_used)});
+    const std::string prefix = PlacementPolicyName(policy) + "_";
+    json.Metric(prefix + "gpus_needed", met ? best.num_nodes : kDedicatedGpus + 1);
+    json.Metric(prefix + "p99_ms", best.p99_ms);
+    json.Metric(prefix + "goodput_utilization", best.goodput_utilization);
   }
   sizing.Print();
 
@@ -83,6 +89,8 @@ int main() {
                   Table::Num(100 * r.used_utilization, 1), Table::Num(r.p99_ms, 1),
                   Table::Num(r.mean_models_per_node, 1),
                   std::to_string(r.gpus_saved_vs_dedicated)});
+    json.Metric(PlacementPolicyName(policy) + "_gpus_saved_at_13",
+                r.gpus_saved_vs_dedicated);
   }
   fixed.Print();
 
@@ -95,5 +103,7 @@ int main() {
                     Table::Num(100 * r.fleet_utilization, 1), Table::Num(r.throughput_rps, 0)});
   }
   scaling.Print();
+
+  json.Write();
   return 0;
 }

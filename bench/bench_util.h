@@ -4,9 +4,12 @@
 #ifndef LITHOS_BENCH_BENCH_UTIL_H_
 #define LITHOS_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/table.h"
@@ -105,6 +108,50 @@ class SoloCache {
 
  private:
   std::map<std::string, AppResult> cache_;
+};
+
+// --- Machine-readable output --------------------------------------------------
+
+// Flat key->number emitter for the perf trajectory: each bench collects its
+// headline metrics and writes BENCH_<name>.json into the working directory
+// (or $LITHOS_BENCH_JSON_DIR when set), so CI can diff runs across commits
+// instead of scraping the human-readable tables.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string name) : name_(std::move(name)) {}
+
+  void Metric(const std::string& key, double value) {
+    // Non-finite values would break downstream JSON parsers; record zero and
+    // keep the run comparable.
+    metrics_.emplace_back(key, std::isfinite(value) ? value : 0.0);
+  }
+
+  // Writes the file; returns false (after a notice) when the path is not
+  // writable so benches never fail on a read-only checkout.
+  bool Write() const {
+    const char* dir = std::getenv("LITHOS_BENCH_JSON_DIR");
+    const std::string path =
+        (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : std::string()) +
+        "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("note: could not write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name_.c_str());
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.10g", i > 0 ? "," : "", metrics_[i].first.c_str(),
+                   metrics_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
 };
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref) {

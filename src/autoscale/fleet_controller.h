@@ -1,0 +1,171 @@
+// Fleet control plane: diurnal autoscaling and live model migration.
+//
+// The FleetController is the OS-level layer above the ClusterDispatcher: a
+// periodic control loop on the shared simulator clock that observes per-node
+// telemetry (outstanding GPU-ms, offered load, placement) and issues two
+// kinds of actions:
+//
+//   * node lifecycle — Active -> Draining -> PoweredOff -> Active. A node
+//     marked Draining leaves the placement rotation but finishes its queued
+//     work; once empty it is power-gated (idle draw falls to the GPU spec's
+//     gated_power_w) until the curve climbs back.
+//   * live migration — a model replica is re-homed to another node through
+//     ClusterDispatcher::MigrateModel: arrivals redirect immediately, a
+//     memory-bound checkpoint kernel drains behind the replica's in-flight
+//     requests on the source, and a restore kernel serialises ahead of the
+//     first redirected request on the destination (PhoenixOS-style
+//     checkpoint/transfer/restore; see docs/autoscale.md).
+//
+// Each control period the configured ScalingPolicy converts demand telemetry
+// into a powered-on node target; the controller then drains or wakes nodes
+// so the active set is the pool prefix [0, target), and — under the
+// model-affinity placement policy — re-packs the fleet's replica sets over
+// the active prefix (first-fit decreasing at the estimated demand), issuing
+// the migrations that diff requires, capped per period. Rebalancing only
+// runs when the active set changes or replicas are stranded on non-active
+// nodes, so a steady pool never churns.
+#ifndef LITHOS_AUTOSCALE_FLEET_CONTROLLER_H_
+#define LITHOS_AUTOSCALE_FLEET_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/autoscale/scaling_policy.h"
+#include "src/cluster/cluster.h"
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+
+namespace lithos {
+
+// Lifecycle state the controller tracks per node.
+enum class NodePower {
+  kActive,     // in rotation, full idle power
+  kDraining,   // out of rotation, finishing queued work
+  kPoweredOff, // drained and power-gated
+};
+
+std::string NodePowerName(NodePower state);
+
+struct AutoscaleConfig {
+  // The underlying pool and traffic. `cluster.num_nodes` is the pool
+  // ceiling; `cluster.policy` should be kModelAffinity for migrations to be
+  // meaningful (the load-oblivious policies replicate every model
+  // everywhere, so only node lifecycle applies).
+  ClusterConfig cluster;
+
+  ScalingPolicyKind scaling = ScalingPolicyKind::kPredictive;
+  DurationNs control_period = FromMillis(250);
+
+  // Per-node GPU-time budget the scaler provisions to: a powered-on node is
+  // planned to carry target_util * 1000 GPU-ms of request work per second.
+  // The headroom absorbs burstiness within a control period plus the
+  // model-switch overhead consolidation induces; pushing this much past 0.5
+  // trades tail latency for GPU-hours.
+  double target_util = 0.5;
+
+  int min_nodes = 1;
+
+  // Rebalance migrations per control period. Forced moves — replicas
+  // stranded on draining nodes — always complete regardless of the cap, so
+  // a drain can finish.
+  int max_migrations_per_period = 4;
+
+  // Scale-down hysteresis: the demand estimate must call for fewer nodes
+  // for this many consecutive ticks before any node drains. Scale-up is
+  // immediate — growing fast and shedding slowly damps the oscillation a
+  // lagging (reactive) signal otherwise rings with.
+  int scale_down_patience = 2;
+
+  // Outstanding GPU-ms at or below which a draining node counts as empty.
+  double drain_epsilon_ms = 0.01;
+};
+
+class FleetController {
+ public:
+  FleetController(Simulator* sim, ClusterDispatcher* dispatcher, const AutoscaleConfig& config);
+  FleetController(const FleetController&) = delete;
+  FleetController& operator=(const FleetController&) = delete;
+
+  // Runs the first control tick now and re-arms every control_period until
+  // the next tick would land at or beyond `until`.
+  void Start(TimeNs until);
+
+  // Discards the power/lifecycle accounting accumulated so far (warm-up);
+  // the powered-on integral and cycle counters restart from now.
+  void ResetAccounting();
+
+  const ScalingPolicy& policy() const { return *policy_; }
+  NodePower node_power(int node) const { return states_[node]; }
+  int powered_on_nodes() const;
+
+  // Time integral of the powered-on node count (GPU-seconds of provisioned
+  // capacity) since the last ResetAccounting, including the current partial
+  // interval.
+  double PoweredOnNodeSeconds() const;
+
+  uint64_t power_ons() const { return power_ons_; }
+  uint64_t power_offs() const { return power_offs_; }
+  uint64_t ticks() const { return ticks_; }
+
+ private:
+  void Tick(TimeNs until);
+  FleetSnapshot BuildSnapshot() const;
+  // Drives the lifecycle toward the active prefix [0, desired); returns
+  // whether any node changed state.
+  bool ApplyLifecycle(int desired);
+  // Re-packs replica sets over the active prefix and issues the migrations
+  // the diff requires.
+  void Rebalance(int desired, double demand_ms_per_s);
+  void CompleteDrains();
+  bool HasStrandedReplicas() const;
+  void IntegratePoweredOn();
+
+  Simulator* sim_;
+  ClusterDispatcher* dispatcher_;
+  AutoscaleConfig config_;
+  std::unique_ptr<ScalingPolicy> policy_;
+
+  std::vector<NodePower> states_;
+  double mean_offered_ms_per_s_ = 0;  // offered load at the diurnal mean
+  double peak_offered_ms_per_s_ = 0;  // offered load at the diurnal peak
+
+  bool first_tick_ = true;
+  double last_dispatched_ms_ = 0;  // dispatched_request_ms at previous tick
+  int below_ticks_ = 0;            // consecutive ticks demand called for fewer nodes
+
+  TimeNs last_integrate_ = 0;
+  double powered_on_seconds_ = 0;
+  uint64_t power_ons_ = 0;
+  uint64_t power_offs_ = 0;
+  uint64_t ticks_ = 0;
+};
+
+// --- Headline experiment ------------------------------------------------------
+
+struct AutoscaleResult {
+  ScalingPolicyKind scaling = ScalingPolicyKind::kStaticPeak;
+  ClusterResult cluster;            // measurement-window fleet metrics
+
+  double days = 0;                  // fleet-days covered by the window
+  double mean_powered_on = 0;       // time-averaged powered-on node count
+  double gpu_hours_per_day = 0;     // provisioned GPU-hours per fleet-day
+  double joules_per_day = 0;        // fleet energy per fleet-day
+  // Request GPU-ms served per powered-on GPU-ms: the utilization of what
+  // the fleet actually paid for. The autoscaler's reason to exist — the
+  // paper's 27%-idle fleet raised by shedding the trough.
+  double provisioned_utilization = 0;
+  uint64_t migrations = 0;          // replica re-homings inside the window
+  double migration_gpu_ms = 0;      // checkpoint/restore GPU-ms charged
+  uint64_t power_ons = 0;
+  uint64_t power_offs = 0;
+};
+
+// Builds the cluster + controller stack, runs warmup + duration, and
+// collects fleet metrics over the post-warm-up window. Deterministic for a
+// given config.
+AutoscaleResult RunClusterAutoscale(const AutoscaleConfig& config);
+
+}  // namespace lithos
+
+#endif  // LITHOS_AUTOSCALE_FLEET_CONTROLLER_H_

@@ -55,6 +55,16 @@ ClusterDispatcher::ClusterDispatcher(Simulator* sim, const ClusterConfig& config
     switch_kernels_.push_back(MakeKernel("load/" + m.id, 256,
                                          FromMillis(std::max(0.001, switch_ms)), 0.6, 0.1,
                                          config_.spec));
+    // Migration halves: checkpoint on the source, restore on the destination.
+    // Memory-bound like the switch kernel (weight movement dominates), each
+    // carrying half of the size-proportional migration cost.
+    const double half_migration_ms = 0.5 * config_.migration_cost_ms_per_size * m.size;
+    checkpoint_kernels_.push_back(MakeKernel("ckpt/" + m.id, 256,
+                                             FromMillis(std::max(0.001, half_migration_ms)), 0.5,
+                                             0.1, config_.spec));
+    restore_kernels_.push_back(MakeKernel("restore/" + m.id, 256,
+                                          FromMillis(std::max(0.001, half_migration_ms)), 0.5,
+                                          0.1, config_.spec));
     arrival_rng_.emplace_back(config_.seed * 1315423911u + i * 2654435761u + 17);
   }
 
@@ -95,6 +105,23 @@ double ClusterDispatcher::RateNow(int model_index) const {
   return rate;
 }
 
+double ClusterDispatcher::MeanOfferedLoad() const {
+  double total = 0;
+  const std::vector<FleetModel>& models = fleet_.models();
+  for (size_t i = 0; i < models.size(); ++i) {
+    total += config_.aggregate_rps * model_share_[i] * models[i].cost_ms;
+  }
+  return total;
+}
+
+double ClusterDispatcher::OfferedLoadAt(TimeNs t) const {
+  double total = MeanOfferedLoad();
+  if (config_.seconds_per_day > 0) {
+    total *= fleet_.NormalizedRps(ToSeconds(t) / config_.seconds_per_day);
+  }
+  return total;
+}
+
 void ClusterDispatcher::ScheduleNextArrival(int model_index, TimeNs until) {
   // Non-homogeneous Poisson arrivals by Lewis thinning: draw gaps at the
   // model's peak rate, then accept each candidate with probability
@@ -133,6 +160,7 @@ int ClusterDispatcher::Dispatch(int model_index) {
   const bool measured = sim_->Now() >= warmup_end_;
   ++dispatched_;
   ++state.dispatched;
+  dispatched_request_ms_ += model.cost_ms;
   if (measured) {
     ++state.dispatched_measured;
   }
@@ -173,6 +201,104 @@ int ClusterDispatcher::Dispatch(int model_index) {
   return node;
 }
 
+void ClusterDispatcher::BeginMeasurement() {
+  // The window opens now for every reported statistic: in-flight requests
+  // that arrived earlier stay excluded (their completion callbacks compare
+  // against warmup_end_), and everything already accumulated is discarded.
+  warmup_end_ = sim_->Now();
+  latency_ms_.Clear();
+  completed_request_ms_ = 0;
+  migrations_ = 0;
+  migration_gpu_ms_ = 0;
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    NodeState& state = node_state_[n];
+    state.dispatched_measured = 0;
+    state.completed_measured = 0;
+    state.switches_measured = 0;
+    state.migrations_in = 0;
+    state.migrations_out = 0;
+    state.models_seen.clear();
+    state.launches_at_window_start = nodes_[n]->driver()->launches_issued();
+  }
+}
+
+void ClusterDispatcher::SetNodeActive(int node, bool active) {
+  placer_->SetNodeEnabled(node, active);
+}
+
+bool ClusterDispatcher::NodeActive(int node) const { return placer_->NodeEnabled(node); }
+
+void ClusterDispatcher::PowerGateNode(int node, bool gated) {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, config_.num_nodes);
+  nodes_[node]->engine()->SetPowerGated(gated);
+}
+
+bool ClusterDispatcher::NodeGated(int node) const {
+  return nodes_[node]->engine()->power_gated();
+}
+
+void ClusterDispatcher::ChargeMigrationKernel(int node, int model_index,
+                                              const KernelDesc* kernel) {
+  const FleetModel& model = fleet_.models()[model_index];
+  const double half_ms = 0.5 * config_.migration_cost_ms_per_size * model.size;
+  if (half_ms <= 0) {
+    return;
+  }
+  Stream* stream = StreamFor(node, model_index);
+  Driver* driver = nodes_[node]->driver();
+  driver->CuLaunchKernel(stream, kernel);
+  outstanding_ms_[node] += half_ms;
+  if (sim_->Now() >= warmup_end_) {
+    migration_gpu_ms_ += half_ms;
+  }
+  driver->CuStreamAddCallback(stream, [this, node, half_ms] {
+    outstanding_ms_[node] = std::max(0.0, outstanding_ms_[node] - half_ms);
+  });
+}
+
+bool ClusterDispatcher::MigrateModel(int model_index, int from, int to) {
+  LITHOS_CHECK_GE(from, 0);
+  LITHOS_CHECK_LT(from, config_.num_nodes);
+  if (from == to || !placer_->MoveReplica(model_index, from, to)) {
+    return false;
+  }
+  // Arrivals are redirected from this instant (the placer now routes the
+  // model to `to`); the checkpoint drains FIFO behind the replica's
+  // in-flight requests on `from`, and the restore serialises ahead of the
+  // first redirected request on `to`.
+  if (sim_->Now() >= warmup_end_) {
+    ++migrations_;
+    ++node_state_[from].migrations_out;
+    ++node_state_[to].migrations_in;
+  }
+  ChargeMigrationKernel(from, model_index, &checkpoint_kernels_[model_index]);
+  ChargeMigrationKernel(to, model_index, &restore_kernels_[model_index]);
+  return true;
+}
+
+bool ClusterDispatcher::AddModelReplica(int model_index, int node) {
+  if (!placer_->AddReplica(model_index, node)) {
+    return false;
+  }
+  if (sim_->Now() >= warmup_end_) {
+    ++node_state_[node].migrations_in;
+  }
+  ChargeMigrationKernel(node, model_index, &restore_kernels_[model_index]);
+  return true;
+}
+
+bool ClusterDispatcher::RemoveModelReplica(int model_index, int node) {
+  if (!placer_->RemoveReplica(model_index, node)) {
+    return false;
+  }
+  if (sim_->Now() >= warmup_end_) {
+    ++node_state_[node].migrations_out;
+  }
+  ChargeMigrationKernel(node, model_index, &checkpoint_kernels_[model_index]);
+  return true;
+}
+
 ClusterResult ClusterDispatcher::Collect(DurationNs measured) {
   ClusterResult result;
   result.policy = config_.policy;
@@ -196,10 +322,13 @@ ClusterResult ClusterDispatcher::Collect(DurationNs measured) {
     ns.dispatched = node_state_[n].dispatched_measured;
     ns.completed = node_state_[n].completed_measured;
     ns.model_switches = node_state_[n].switches_measured;
+    ns.migrations_in = node_state_[n].migrations_in;
+    ns.migrations_out = node_state_[n].migrations_out;
     ns.distinct_models = static_cast<int>(node_state_[n].models_seen.size());
     ns.busy_tpc_seconds = engine.busy_tpc_seconds;
     ns.energy_joules = engine.energy_joules;
-    ns.driver_launches = nodes_[n]->driver()->launches_issued();
+    ns.driver_launches =
+        nodes_[n]->driver()->launches_issued() - node_state_[n].launches_at_window_start;
     const double capacity = engine.elapsed_seconds * config_.spec.TotalTpcs();
     ns.utilization = capacity > 0 ? engine.busy_tpc_seconds / capacity : 0.0;
 
@@ -223,10 +352,13 @@ ClusterResult ClusterDispatcher::Collect(DurationNs measured) {
   // Serial-equivalent request GPU-ms over the used pool's GPU-ms.
   const double used_gpu_ms = result.nodes_used * secs * 1000.0;
   result.goodput_utilization = used_gpu_ms > 0 ? completed_request_ms_ / used_gpu_ms : 0.0;
+  result.completed_request_gpu_ms = completed_request_ms_;
   result.gpus_saved_vs_dedicated =
       static_cast<int>(fleet_.models().size()) - result.nodes_used;
   result.mean_models_per_node =
       result.nodes_used > 0 ? models_on_used / result.nodes_used : 0.0;
+  result.migrations = migrations_;
+  result.migration_gpu_ms = migration_gpu_ms_;
   return result;
 }
 
@@ -240,6 +372,7 @@ ClusterResult RunClusterServing(const ClusterConfig& config) {
     for (const std::unique_ptr<GpuNode>& node : dispatcher.nodes()) {
       node->engine()->ResetStats();
     }
+    dispatcher.BeginMeasurement();
   });
   sim.RunUntil(horizon);
   return dispatcher.Collect(config.duration);

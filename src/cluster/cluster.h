@@ -87,25 +87,34 @@ struct ClusterConfig {
   // when a node's previously served model differs from the incoming one.
   double switch_cost_ms_per_size = 0.8;
 
+  // Live-migration cost in GPU ms per unit of model size, split evenly
+  // between a memory-bound checkpoint kernel on the source node and a
+  // restore kernel on the destination (PhoenixOS-style OS-level GPU
+  // checkpoint/transfer/restore; see docs/autoscale.md).
+  double migration_cost_ms_per_size = 2.5;
+
   DurationNs warmup = FromSeconds(1);
   DurationNs duration = FromSeconds(8);
   uint64_t seed = 42;
 };
 
-// Per-node snapshot. Counters cover the post-warm-up measurement window so
-// they share a window with the latency/engine statistics, except
-// `distinct_models` and `driver_launches`, which are lifetime (the driver's
-// launch counter is never reset).
+// Per-node snapshot. Every counter covers the post-warm-up measurement
+// window opened by BeginMeasurement() — including `distinct_models` and
+// `driver_launches`, which snapshot their lifetime baselines at the window
+// start — so all per-node counters share one window with the latency/engine
+// statistics. Without a BeginMeasurement() call the window is the full run.
 struct ClusterNodeStats {
   int node_id = 0;
   uint64_t dispatched = 0;        // requests routed here
   uint64_t completed = 0;         // requests finished here
   uint64_t model_switches = 0;    // switch/load kernels charged (incl. cold start)
-  int distinct_models = 0;        // models that ever landed here (lifetime)
+  uint64_t migrations_in = 0;     // replicas restored onto this node
+  uint64_t migrations_out = 0;    // replicas checkpointed away from this node
+  int distinct_models = 0;        // models that landed here in the window
   double utilization = 0;         // busy TPC-seconds / capacity
   double busy_tpc_seconds = 0;
   double energy_joules = 0;
-  uint64_t driver_launches = 0;   // kernels + markers through this driver (lifetime)
+  uint64_t driver_launches = 0;   // kernels + markers through this driver
 };
 
 struct ClusterResult {
@@ -128,12 +137,20 @@ struct ClusterResult {
   // the used nodes. Excludes model-switch overhead, so churny policies do
   // not get credit for busy-but-wasted TPC time.
   double goodput_utilization = 0;
+  // Raw numerator of the goodput ratio: request GPU-ms completed inside the
+  // measurement window (the autoscale layer re-divides it by powered-on
+  // GPU-time rather than ever-used GPU-time).
+  double completed_request_gpu_ms = 0;
   int nodes_used = 0;
   // Versus the dedicated deployment the paper's fleet study describes: one
   // GPU per model (13 for the production fleet's model set).
   int gpus_saved_vs_dedicated = 0;
   double mean_models_per_node = 0;  // over used nodes
   uint64_t total_model_switches = 0;
+
+  // Live-migration traffic (autoscale control plane).
+  uint64_t migrations = 0;           // replica re-homings (checkpoint + restore)
+  double migration_gpu_ms = 0;       // GPU-ms charged for checkpoint/restore kernels
 
   std::vector<ClusterNodeStats> nodes;
 };
@@ -145,6 +162,9 @@ class ClusterDispatcher {
   const std::vector<FleetModel>& models() const { return fleet_.models(); }
   const std::vector<std::unique_ptr<GpuNode>>& nodes() const { return nodes_; }
   Placer& placer() { return *placer_; }
+  const Placer& placer() const { return *placer_; }
+  const ClusterConfig& config() const { return config_; }
+  const FleetTelemetry& fleet() const { return fleet_; }
 
   // Starts per-model Poisson arrival processes running until `until`.
   void StartArrivals(TimeNs until);
@@ -161,21 +181,78 @@ class ClusterDispatcher {
   uint64_t completed() const { return completed_; }
   uint64_t dispatched_to(int node) const { return node_state_[node].dispatched; }
 
-  // Latency samples recorded before `t` are discarded (warm-up).
+  // Pre-arms the warm-up cutoff: samples and counters for requests arriving
+  // before `t` are excluded even while the clock is still short of `t`.
   void SetWarmupEnd(TimeNs t) { warmup_end_ = t; }
+
+  // Opens the measurement window at the current simulated time: discards
+  // every accumulated statistic (latency digest, fleet and per-node
+  // counters), clears the per-node model sets, and snapshots the driver
+  // launch counters — so every ClusterNodeStats counter covers one window.
+  // Call at warm-up end, alongside the engines' ResetStats().
+  void BeginMeasurement();
 
   // Snapshots fleet metrics; `measured` is the post-warm-up window length.
   ClusterResult Collect(DurationNs measured);
+
+  // --- Autoscale control-plane hooks ---------------------------------------
+
+  // Offered load — GPU-ms of request work arriving per wall-second — at
+  // simulated time `t`, following the diurnal curve. The scaling policies'
+  // ground-truth demand signal (predictive scaling feeds it forward).
+  double OfferedLoadAt(TimeNs t) const;
+
+  // Offered load at the diurnal mean (no curve factor applied).
+  double MeanOfferedLoad() const;
+
+  // Peak of the diurnal curve (the arrival process's thinning envelope,
+  // including its margin for the weekly drift term); 1 for flat traffic.
+  double PeakNormalizedRps() const { return peak_norm_; }
+
+  // Cumulative GPU-ms of request work dispatched since construction,
+  // arrival-weighted. The reactive policy differences this between control
+  // periods to estimate what actually arrived.
+  double dispatched_request_ms() const { return dispatched_request_ms_; }
+
+  // Takes a node out of (or back into) the placement rotation. An inactive
+  // node receives no new arrivals but keeps draining queued work.
+  void SetNodeActive(int node, bool active);
+  bool NodeActive(int node) const;
+
+  // Power-gates a drained node's engine (idle draw falls to
+  // spec.gated_power_w). The caller must have drained it first: gating with
+  // work on the device is a checked error.
+  void PowerGateNode(int node, bool gated);
+  bool NodeGated(int node) const;
+
+  // Live migration: re-homes one replica of the model from `from` to `to`,
+  // redirecting future arrivals immediately and charging the migration cost
+  // as kernels — a checkpoint on the source stream (FIFO-ordered behind the
+  // replica's in-flight requests, i.e. the drain) and a restore on the
+  // destination stream (serialising before the first redirected request).
+  // Returns false (charging nothing) if the placer refuses the move.
+  bool MigrateModel(int model_index, int from, int to);
+
+  // Replica-set growth/shrink with the matching one-sided costs: a clone
+  // charges only the restore on `node`; a retire charges only the
+  // checkpoint. Both fail (charging nothing) if the placer refuses.
+  bool AddModelReplica(int model_index, int node);
+  bool RemoveModelReplica(int model_index, int node);
+
+  uint64_t migrations() const { return migrations_; }
 
  private:
   struct NodeState {
     int last_model = -1;                 // model of the most recent launch
     uint64_t dispatched = 0;             // lifetime; identifies used nodes
-    // Post-warm-up counters reported through ClusterNodeStats.
+    // Measurement-window counters reported through ClusterNodeStats.
     uint64_t dispatched_measured = 0;
     uint64_t completed_measured = 0;
     uint64_t switches_measured = 0;
-    std::set<int> models_seen;
+    uint64_t migrations_in = 0;
+    uint64_t migrations_out = 0;
+    std::set<int> models_seen;           // cleared at window start
+    uint64_t launches_at_window_start = 0;
     // Lazily created client/stream per model; index by model, null until
     // the first request for that model lands here.
     std::vector<Stream*> model_streams;
@@ -184,6 +261,9 @@ class ClusterDispatcher {
   void ScheduleNextArrival(int model_index, TimeNs until);
   double RateNow(int model_index) const;
   Stream* StreamFor(int node, int model_index);
+  // Launches one half of a migration (checkpoint or restore kernel) on the
+  // node's stream for the model and tracks its outstanding GPU time.
+  void ChargeMigrationKernel(int node, int model_index, const KernelDesc* kernel);
 
   Simulator* sim_;
   ClusterConfig config_;
@@ -191,10 +271,12 @@ class ClusterDispatcher {
   std::vector<std::unique_ptr<GpuNode>> nodes_;
   std::unique_ptr<Placer> placer_;
 
-  // Per-model request and switch kernels (hidden ground-truth timing built
-  // from the fleet study's per-request cost and model size).
+  // Per-model request, switch, and migration kernels (hidden ground-truth
+  // timing built from the fleet study's per-request cost and model size).
   std::vector<KernelDesc> request_kernels_;
   std::vector<KernelDesc> switch_kernels_;
+  std::vector<KernelDesc> checkpoint_kernels_;
+  std::vector<KernelDesc> restore_kernels_;
   std::vector<double> model_share_;      // popularity share, sums to 1
 
   std::vector<NodeState> node_state_;
@@ -204,7 +286,10 @@ class ClusterDispatcher {
 
   uint64_t dispatched_ = 0;
   uint64_t completed_ = 0;
-  double completed_request_ms_ = 0;  // request GPU-ms finished after warm-up
+  double completed_request_ms_ = 0;   // request GPU-ms finished after warm-up
+  double dispatched_request_ms_ = 0;  // cumulative arrival-weighted request GPU-ms
+  uint64_t migrations_ = 0;
+  double migration_gpu_ms_ = 0;
   TimeNs warmup_end_ = 0;
   PercentileDigest latency_ms_;
 };

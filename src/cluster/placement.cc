@@ -25,28 +25,198 @@ std::vector<PlacementPolicy> AllPlacementPolicies() {
           PlacementPolicy::kModelAffinity};
 }
 
-std::vector<int> Placer::EligibleNodes(int model_index) const {
-  (void)model_index;
-  std::vector<int> all(num_nodes_);
-  std::iota(all.begin(), all.end(), 0);
-  return all;
+std::vector<std::vector<int>> PackModels(const std::vector<FleetModel>& models,
+                                         const std::vector<int>& nodes, double aggregate_rps,
+                                         double target_utilization) {
+  LITHOS_CHECK_GT(target_utilization, 0.0);
+  LITHOS_CHECK(!nodes.empty());
+  const int num_nodes = static_cast<int>(nodes.size());
+  std::vector<std::vector<int>> packed(models.size());
+
+  // Expected GPU-ms per wall second demanded by each model, using the same
+  // popularity shares the dispatcher splits its arrival rate by.
+  const std::vector<double> shares = PopularityShares(models);
+  std::vector<double> load_ms(models.size());
+  for (size_t i = 0; i < models.size(); ++i) {
+    load_ms[i] = aggregate_rps * shares[i] * models[i].cost_ms;
+  }
+
+  // One node can execute ~1000 GPU-ms per second; fill to the target.
+  const double capacity = target_utilization * 1000.0;
+
+  std::vector<size_t> order(models.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&load_ms](size_t a, size_t b) { return load_ms[a] > load_ms[b]; });
+
+  std::vector<double> bin(num_nodes, 0.0);
+  for (size_t model : order) {
+    const double need = load_ms[model];
+    int replicas = std::max(1, static_cast<int>(std::ceil(need / capacity)));
+    replicas = std::min(replicas, num_nodes);
+    if (replicas == 1) {
+      // First-fit: the lowest-index bin with room; overflow onto the
+      // least-filled bin when every bin is full.
+      int chosen = -1;
+      for (int n = 0; n < num_nodes; ++n) {
+        if (bin[n] + need <= capacity) {
+          chosen = n;
+          break;
+        }
+      }
+      if (chosen < 0) {
+        chosen = static_cast<int>(std::min_element(bin.begin(), bin.end()) - bin.begin());
+      }
+      bin[chosen] += need;
+      packed[model] = {nodes[chosen]};
+    } else {
+      // Hot model: spread its replicas over the currently least-filled
+      // bins and split the load evenly among them.
+      std::vector<int> by_load(num_nodes);
+      std::iota(by_load.begin(), by_load.end(), 0);
+      std::sort(by_load.begin(), by_load.end(), [&bin](int a, int b) {
+        if (bin[a] != bin[b]) {
+          return bin[a] < bin[b];
+        }
+        return a < b;
+      });
+      for (int r = 0; r < replicas; ++r) {
+        const int n = by_load[r];
+        bin[n] += need / replicas;
+        packed[model].push_back(nodes[n]);
+      }
+      std::sort(packed[model].begin(), packed[model].end());
+    }
+  }
+  return packed;
 }
 
-namespace {
+// --- Placer base: replica sets and enabled bits ------------------------------
 
-// Least-loaded choice among `candidates`, ties broken by lowest index so a
-// given request sequence always produces the same placement.
-int ArgMinOutstanding(const std::vector<int>& candidates,
-                      const std::vector<double>& outstanding_ms) {
-  LITHOS_CHECK(!candidates.empty());
-  int best = candidates[0];
-  for (int node : candidates) {
-    if (outstanding_ms[node] < outstanding_ms[best]) {
+Placer::Placer(int num_nodes, int num_models) : num_nodes_(num_nodes), num_models_(num_models) {
+  std::vector<int> all(num_nodes_);
+  std::iota(all.begin(), all.end(), 0);
+  replicas_.assign(num_models_, all);
+  enabled_.assign(num_nodes_, 1);
+}
+
+const std::vector<int>& Placer::ReplicaNodes(int model_index) const {
+  LITHOS_CHECK_GE(model_index, 0);
+  LITHOS_CHECK_LT(model_index, num_models_);
+  return replicas_[model_index];
+}
+
+std::vector<int> Placer::EligibleNodes(int model_index) const {
+  std::vector<int> eligible;
+  for (int node : ReplicaNodes(model_index)) {
+    if (enabled_[node]) {
+      eligible.push_back(node);
+    }
+  }
+  if (!eligible.empty()) {
+    return eligible;
+  }
+  // Every replica is on a disabled node: fall back to any enabled node so
+  // traffic keeps flowing while the control plane converges.
+  for (int n = 0; n < num_nodes_; ++n) {
+    if (enabled_[n]) {
+      eligible.push_back(n);
+    }
+  }
+  if (!eligible.empty()) {
+    return eligible;
+  }
+  // Nothing enabled at all (a controller bug, but never dead-end routing).
+  eligible.resize(num_nodes_);
+  std::iota(eligible.begin(), eligible.end(), 0);
+  return eligible;
+}
+
+bool Placer::MoveReplica(int model_index, int from, int to) {
+  LITHOS_CHECK_GE(model_index, 0);
+  LITHOS_CHECK_LT(model_index, num_models_);
+  LITHOS_CHECK_GE(to, 0);
+  LITHOS_CHECK_LT(to, num_nodes_);
+  std::vector<int>& nodes = replicas_[model_index];
+  auto it = std::find(nodes.begin(), nodes.end(), from);
+  if (it == nodes.end() || std::find(nodes.begin(), nodes.end(), to) != nodes.end()) {
+    return false;
+  }
+  nodes.erase(it);
+  nodes.insert(std::upper_bound(nodes.begin(), nodes.end(), to), to);
+  return true;
+}
+
+bool Placer::AddReplica(int model_index, int node) {
+  LITHOS_CHECK_GE(model_index, 0);
+  LITHOS_CHECK_LT(model_index, num_models_);
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, num_nodes_);
+  std::vector<int>& nodes = replicas_[model_index];
+  if (std::find(nodes.begin(), nodes.end(), node) != nodes.end()) {
+    return false;
+  }
+  nodes.insert(std::upper_bound(nodes.begin(), nodes.end(), node), node);
+  return true;
+}
+
+bool Placer::RemoveReplica(int model_index, int node) {
+  LITHOS_CHECK_GE(model_index, 0);
+  LITHOS_CHECK_LT(model_index, num_models_);
+  std::vector<int>& nodes = replicas_[model_index];
+  if (nodes.size() <= 1) {
+    return false;  // a model must stay routable somewhere
+  }
+  auto it = std::find(nodes.begin(), nodes.end(), node);
+  if (it == nodes.end()) {
+    return false;
+  }
+  nodes.erase(it);
+  return true;
+}
+
+void Placer::SetNodeEnabled(int node, bool enabled) {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, num_nodes_);
+  enabled_[node] = enabled ? 1 : 0;
+}
+
+bool Placer::NodeEnabled(int node) const {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, num_nodes_);
+  return enabled_[node] != 0;
+}
+
+int Placer::PlaceLeastOutstanding(int model_index,
+                                  const std::vector<double>& outstanding_ms) const {
+  // Replica sets are sorted ascending, so the first strict minimum seen is
+  // the lowest-index tie-winner in every tier.
+  int best = -1;
+  for (int node : ReplicaNodes(model_index)) {
+    if (enabled_[node] && (best < 0 || outstanding_ms[node] < outstanding_ms[best])) {
       best = node;
+    }
+  }
+  if (best >= 0) {
+    return best;
+  }
+  for (int n = 0; n < num_nodes_; ++n) {  // every replica disabled
+    if (enabled_[n] && (best < 0 || outstanding_ms[n] < outstanding_ms[best])) {
+      best = n;
+    }
+  }
+  if (best >= 0) {
+    return best;
+  }
+  for (int n = 0; n < num_nodes_; ++n) {  // nothing enabled at all
+    if (best < 0 || outstanding_ms[n] < outstanding_ms[best]) {
+      best = n;
     }
   }
   return best;
 }
+
+namespace {
 
 class RoundRobinPlacer : public Placer {
  public:
@@ -57,6 +227,15 @@ class RoundRobinPlacer : public Placer {
   int Place(int model_index, const std::vector<double>& outstanding_ms) override {
     (void)model_index;
     (void)outstanding_ms;
+    // Cycle the pointer past disabled nodes; with everything disabled the
+    // plain cycle is the safety fallback.
+    for (int tried = 0; tried < num_nodes_; ++tried) {
+      const int node = next_;
+      next_ = (next_ + 1) % num_nodes_;
+      if (enabled_[node]) {
+        return node;
+      }
+    }
     const int node = next_;
     next_ = (next_ + 1) % num_nodes_;
     return node;
@@ -73,86 +252,21 @@ class LeastLoadedPlacer : public Placer {
   std::string Name() const override { return PlacementPolicyName(PlacementPolicy::kLeastLoaded); }
 
   int Place(int model_index, const std::vector<double>& outstanding_ms) override {
-    (void)model_index;
-    int best = 0;
-    for (int node = 1; node < num_nodes_; ++node) {
-      if (outstanding_ms[node] < outstanding_ms[best]) {
-        best = node;
-      }
-    }
-    return best;
+    return PlaceLeastOutstanding(model_index, outstanding_ms);
   }
 };
 
-// First-fit-decreasing packer. Each model's expected load (requests/s x GPU
-// ms/request) is placed into per-node bins of capacity
-// target_utilization * 1000 GPU-ms per second. Models hotter than one bin
-// get ceil(load/capacity) replicas on the least-filled nodes; the cold tail
-// first-fits into the lowest-index bin with room, so high-index nodes stay
-// empty and can be powered off or reclaimed.
+// Model-affinity: replica sets seeded by PackModels' first-fit-decreasing
+// packing so high-index nodes stay empty and can be powered off or reclaimed;
+// requests join the shortest queue within the model's replica set.
 class ModelAffinityPlacer : public Placer {
  public:
   ModelAffinityPlacer(const std::vector<FleetModel>& models, int num_nodes, double aggregate_rps,
                       double target_utilization)
       : Placer(num_nodes, static_cast<int>(models.size())) {
-    LITHOS_CHECK_GT(target_utilization, 0.0);
-    eligible_.resize(models.size());
-
-    // Expected GPU-ms per wall second demanded by each model, using the same
-    // popularity shares the dispatcher splits its arrival rate by.
-    const std::vector<double> shares = PopularityShares(models);
-    std::vector<double> load_ms(models.size());
-    for (size_t i = 0; i < models.size(); ++i) {
-      load_ms[i] = aggregate_rps * shares[i] * models[i].cost_ms;
-    }
-
-    // One node can execute ~1000 GPU-ms per second; fill to the target.
-    const double capacity = target_utilization * 1000.0;
-
-    std::vector<size_t> order(models.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(),
-              [&load_ms](size_t a, size_t b) { return load_ms[a] > load_ms[b]; });
-
-    std::vector<double> bin(num_nodes, 0.0);
-    for (size_t model : order) {
-      const double need = load_ms[model];
-      int replicas = std::max(1, static_cast<int>(std::ceil(need / capacity)));
-      replicas = std::min(replicas, num_nodes);
-      if (replicas == 1) {
-        // First-fit: the lowest-index node with room; overflow onto the
-        // least-filled node when every bin is full.
-        int chosen = -1;
-        for (int n = 0; n < num_nodes; ++n) {
-          if (bin[n] + need <= capacity) {
-            chosen = n;
-            break;
-          }
-        }
-        if (chosen < 0) {
-          chosen = static_cast<int>(std::min_element(bin.begin(), bin.end()) - bin.begin());
-        }
-        bin[chosen] += need;
-        eligible_[model] = {chosen};
-      } else {
-        // Hot model: spread its replicas over the currently least-filled
-        // nodes and split the load evenly among them.
-        std::vector<int> by_load(num_nodes);
-        std::iota(by_load.begin(), by_load.end(), 0);
-        std::sort(by_load.begin(), by_load.end(), [&bin](int a, int b) {
-          if (bin[a] != bin[b]) {
-            return bin[a] < bin[b];
-          }
-          return a < b;
-        });
-        for (int r = 0; r < replicas; ++r) {
-          const int n = by_load[r];
-          bin[n] += need / replicas;
-          eligible_[model].push_back(n);
-        }
-        std::sort(eligible_[model].begin(), eligible_[model].end());
-      }
-    }
+    std::vector<int> all(num_nodes);
+    std::iota(all.begin(), all.end(), 0);
+    replicas_ = PackModels(models, all, aggregate_rps, target_utilization);
   }
 
   std::string Name() const override {
@@ -160,17 +274,8 @@ class ModelAffinityPlacer : public Placer {
   }
 
   int Place(int model_index, const std::vector<double>& outstanding_ms) override {
-    LITHOS_CHECK_GE(model_index, 0);
-    LITHOS_CHECK_LT(model_index, static_cast<int>(eligible_.size()));
-    return ArgMinOutstanding(eligible_[model_index], outstanding_ms);
+    return PlaceLeastOutstanding(model_index, outstanding_ms);
   }
-
-  std::vector<int> EligibleNodes(int model_index) const override {
-    return eligible_[model_index];
-  }
-
- private:
-  std::vector<std::vector<int>> eligible_;  // model -> packed replica set
 };
 
 }  // namespace

@@ -13,6 +13,11 @@
 //                         hot models dedicated replicas and packing the
 //                         long tail of cold models together so whole GPUs
 //                         are freed — the paper's consolidation argument.
+//
+// Placement is no longer frozen at construction: every placer carries a
+// mutable per-model replica set and a per-node enabled bit, so the autoscale
+// control plane (src/autoscale/) can re-home replicas (live migration) and
+// take nodes in and out of rotation (drain / power-off) mid-run.
 #ifndef LITHOS_CLUSTER_PLACEMENT_H_
 #define LITHOS_CLUSTER_PLACEMENT_H_
 
@@ -34,6 +39,18 @@ std::string PlacementPolicyName(PlacementPolicy policy);
 // All policies in increasing order of sophistication.
 std::vector<PlacementPolicy> AllPlacementPolicies();
 
+// First-fit-decreasing packing of expected per-model load onto `nodes`
+// (actual node ids; need not be contiguous). Each model's expected load
+// (requests/s x GPU ms/request, split by popularity share) is placed into
+// per-node bins of capacity target_utilization * 1000 GPU-ms per second;
+// models hotter than one bin get ceil(load/capacity) replicas. Returns the
+// per-model replica node lists, each sorted. Deterministic for given inputs.
+// Shared by the model-affinity placer (over the full pool at construction)
+// and the fleet controller (over the currently active pool when rescaling).
+std::vector<std::vector<int>> PackModels(const std::vector<FleetModel>& models,
+                                         const std::vector<int>& nodes, double aggregate_rps,
+                                         double target_utilization);
+
 // Strategy interface: picks the node that should serve the next request.
 class Placer {
  public:
@@ -49,19 +66,55 @@ class Placer {
   // estimate of queued-but-unfinished GPU milliseconds per node.
   virtual int Place(int model_index, const std::vector<double>& outstanding_ms) = 0;
 
-  // Nodes this policy will ever route `model_index` to. Round-robin and
-  // least-loaded replicate every model everywhere; model-affinity restricts
-  // each model to its packed replica set.
-  virtual std::vector<int> EligibleNodes(int model_index) const;
+  // Nodes this policy currently routes `model_index` to: the model's replica
+  // set intersected with the enabled nodes. Round-robin and least-loaded
+  // replicate every model everywhere; model-affinity restricts each model to
+  // its packed replica set. Falls back to all enabled nodes when the
+  // intersection is empty (every replica drained away), and to every node
+  // when nothing is enabled, so routing never dead-ends.
+  std::vector<int> EligibleNodes(int model_index) const;
+
+  // --- Runtime mutation hooks (the autoscale control plane) ----------------
+
+  // The model's raw replica set, ignoring the enabled bits. Sorted.
+  const std::vector<int>& ReplicaNodes(int model_index) const;
+
+  // Re-homes one replica of the model from `from` to `to`. Fails (returning
+  // false, mutating nothing) unless `from` currently hosts a replica and
+  // `to` does not.
+  bool MoveReplica(int model_index, int from, int to);
+
+  // Grows the replica set by `node`; false if already present.
+  bool AddReplica(int model_index, int node);
+
+  // Shrinks the replica set; refuses the last replica (a model must remain
+  // routable somewhere).
+  bool RemoveReplica(int model_index, int node);
+
+  // Takes a node out of (or back into) rotation. Disabled nodes receive no
+  // new placements but keep their replica assignments, so a drained node
+  // re-enables with its packing intact.
+  void SetNodeEnabled(int node, bool enabled);
+  bool NodeEnabled(int node) const;
 
   int num_nodes() const { return num_nodes_; }
   int num_models() const { return num_models_; }
 
  protected:
-  Placer(int num_nodes, int num_models) : num_nodes_(num_nodes), num_models_(num_models) {}
+  // Initialises every model's replica set to all nodes (the load-oblivious
+  // default); the affinity placer overwrites it with its packing.
+  Placer(int num_nodes, int num_models);
+
+  // Least-outstanding choice over the model's routable nodes — the same
+  // semantics as EligibleNodes (replicas ∩ enabled with the two fallbacks)
+  // without materialising a vector on the dispatch hot path. Ties break to
+  // the lowest node index.
+  int PlaceLeastOutstanding(int model_index, const std::vector<double>& outstanding_ms) const;
 
   int num_nodes_ = 0;
   int num_models_ = 0;
+  std::vector<std::vector<int>> replicas_;  // model -> sorted replica nodes
+  std::vector<char> enabled_;               // node -> in rotation?
 };
 
 // Builds a placer.

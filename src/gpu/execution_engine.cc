@@ -97,8 +97,11 @@ void ExecutionEngine::CheckpointAll() {
     }
     const double dt_s = dt / static_cast<double>(kSecond);
     const double f_ratio = static_cast<double>(current_mhz_) / static_cast<double>(spec_.max_mhz);
-    const double idle_j = spec_.idle_power_w *
-                          (spec_.idle_freq_floor + (1.0 - spec_.idle_freq_floor) * f_ratio) * dt_s;
+    const double idle_j =
+        power_gated_
+            ? spec_.gated_power_w * dt_s
+            : spec_.idle_power_w *
+                  (spec_.idle_freq_floor + (1.0 - spec_.idle_freq_floor) * f_ratio) * dt_s;
     stats_.energy_joules += InstantPowerW() * dt_s;
     stats_.idle_energy_joules += idle_j;
     stats_.busy_tpc_seconds += static_cast<double>(busy) * dt_s;
@@ -119,6 +122,9 @@ void ExecutionEngine::CheckpointAll() {
 }
 
 double ExecutionEngine::InstantPowerW() const {
+  if (power_gated_) {
+    return spec_.gated_power_w;
+  }
   int busy = 0;
   for (int t = 0; t < spec_.TotalTpcs(); ++t) {
     if (sharers_[t] > 0) {
@@ -178,6 +184,7 @@ void ExecutionEngine::RemoveFromTpcs(const Grant& g) {
 GrantId ExecutionEngine::Launch(WorkItem item, const TpcMask& mask) {
   LITHOS_CHECK(item.kernel != nullptr);
   LITHOS_CHECK_GT(mask.count(), 0u);
+  LITHOS_CHECK(!power_gated_);  // a powered-off device cannot execute work
 
   CheckpointAll();
 
@@ -217,6 +224,7 @@ void ExecutionEngine::Resume(GrantId id, const TpcMask& mask) {
   Grant& g = it->second;
   LITHOS_CHECK(g.paused);
   LITHOS_CHECK_GT(mask.count(), 0u);
+  LITHOS_CHECK(!power_gated_);
 
   CheckpointAll();
   g.mask = mask;
@@ -351,6 +359,19 @@ void ExecutionEngine::RequestFrequencyMhz(int mhz) {
       }
     }
   });
+}
+
+void ExecutionEngine::SetPowerGated(bool gated) {
+  if (gated == power_gated_) {
+    return;
+  }
+  // Fold the interval spent in the previous power state into the integrals
+  // before the draw changes.
+  CheckpointAll();
+  if (gated) {
+    LITHOS_CHECK(BusyMask().none());  // drain before powering off
+  }
+  power_gated_ = gated;
 }
 
 const EngineStats& ExecutionEngine::Stats() {

@@ -136,6 +136,15 @@ class ExecutionEngine {
   int TargetFrequencyMhz() const { return desired_mhz_; }
   bool FrequencySwitchInFlight() const { return switch_event_ != 0; }
 
+  // --- Power gating --------------------------------------------------------
+
+  // Powers the device down (or back up). A gated engine draws only
+  // spec().gated_power_w instead of idle power — the fleet controller's
+  // energy lever for nodes shed at the diurnal trough. Gating requires an
+  // idle device: the caller must drain all running grants first.
+  void SetPowerGated(bool gated);
+  bool power_gated() const { return power_gated_; }
+
   // --- Accounting ----------------------------------------------------------
 
   // Flushes the power/allocation integrals up to Now() and returns them.
@@ -190,6 +199,7 @@ class ExecutionEngine {
   int current_mhz_;
   int desired_mhz_;
   EventId switch_event_ = 0;
+  bool power_gated_ = false;
 
   TimeNs last_account_ = 0;
   EngineStats stats_;

@@ -60,6 +60,9 @@ struct GpuSpec {
   double dynamic_power_w = 320.0;
   double freq_power_exponent = 2.4;
   double idle_freq_floor = 0.45;
+  // Residual draw of a power-gated (drained and powered-off) device: the
+  // standby rails a fleet controller cannot shed without unracking the host.
+  double gated_power_w = 8.0;
 
   double memory_gib = 40.0;
   double memory_bandwidth_gbps = 1555.0;

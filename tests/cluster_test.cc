@@ -158,6 +158,91 @@ TEST(ClusterTest, DispatcherStatsSumToPerNodeStats) {
   EXPECT_EQ(completed_sum, dispatcher.completed());
 }
 
+TEST(ClusterTest, MeasurementWindowCoversAllNodeCounters) {
+  Simulator sim;
+  ClusterConfig config = SmallConfig(PlacementPolicy::kLeastLoaded);
+  config.num_nodes = 1;
+  ClusterDispatcher dispatcher(&sim, config);
+  dispatcher.SetWarmupEnd(FromMillis(100));
+
+  uint64_t launches_at_window = 0;
+  sim.ScheduleAt(0, [&dispatcher] { dispatcher.Dispatch(0); });
+  sim.ScheduleAt(FromMillis(100), [&] {
+    dispatcher.BeginMeasurement();
+    launches_at_window = dispatcher.nodes()[0]->driver()->launches_issued();
+  });
+  sim.ScheduleAt(FromMillis(150), [&dispatcher] { dispatcher.Dispatch(1); });
+  sim.RunToCompletion();
+
+  const ClusterResult result = dispatcher.Collect(FromMillis(150));
+  const ClusterNodeStats& ns = result.nodes[0];
+  // Model 0 landed only before the window: every counter — including the
+  // formerly lifetime distinct_models and driver_launches — must exclude it.
+  EXPECT_EQ(ns.dispatched, 1u);
+  EXPECT_EQ(ns.completed, 1u);
+  EXPECT_EQ(ns.distinct_models, 1);
+  EXPECT_GT(launches_at_window, 0u);
+  EXPECT_EQ(ns.driver_launches,
+            dispatcher.nodes()[0]->driver()->launches_issued() - launches_at_window);
+  EXPECT_GE(ns.driver_launches, 2u);  // model-1 request kernel + marker at least
+}
+
+TEST(ClusterTest, DiurnalArrivalsTrackNormalizedRps) {
+  // Empirical check of the Lewis-thinning arrival process: binned arrival
+  // counts over one compressed fleet day must follow the integral of
+  // FleetTelemetry::NormalizedRps bin by bin.
+  Simulator sim;
+  ClusterConfig config = SmallConfig(PlacementPolicy::kLeastLoaded);
+  config.aggregate_rps = 800.0;
+  config.seconds_per_day = 4.0;
+  config.seed = 11;
+  ClusterDispatcher dispatcher(&sim, config);
+
+  constexpr int kBins = 8;
+  const TimeNs day = FromSeconds(config.seconds_per_day);
+  std::vector<uint64_t> dispatched_at_edge(kBins + 1, 0);
+  for (int b = 0; b <= kBins; ++b) {
+    sim.ScheduleAt(b * day / kBins,
+                   [&dispatched_at_edge, &dispatcher, b] {
+                     dispatched_at_edge[b] = dispatcher.dispatched();
+                   });
+  }
+  dispatcher.StartArrivals(day);
+  sim.RunUntil(day + 1);
+
+  const uint64_t total = dispatched_at_edge[kBins];
+  ASSERT_GT(total, 1000u);  // enough samples for the shares to be stable
+
+  // Expected per-bin share: integral of the diurnal curve over the bin.
+  const FleetTelemetry& fleet = dispatcher.fleet();
+  std::vector<double> expected(kBins);
+  double norm = 0;
+  for (int b = 0; b < kBins; ++b) {
+    constexpr int kSteps = 64;
+    for (int s = 0; s < kSteps; ++s) {
+      expected[b] += fleet.NormalizedRps((b + (s + 0.5) / kSteps) / kBins);
+    }
+    norm += expected[b];
+  }
+
+  double peak_share = 0, trough_share = 1;
+  for (int b = 0; b < kBins; ++b) {
+    const double observed =
+        static_cast<double>(dispatched_at_edge[b + 1] - dispatched_at_edge[b]) /
+        static_cast<double>(total);
+    const double want = expected[b] / norm;
+    // Each bin's share of the day's traffic within 20% relative error
+    // (hundreds of arrivals per bin; Poisson noise is a few percent).
+    EXPECT_NEAR(observed, want, 0.2 * want) << "bin " << b;
+    peak_share = std::max(peak_share, observed);
+    trough_share = std::min(trough_share, observed);
+  }
+  // The binned max/min ratio reflects the curve's 2.23 peak-to-trough swing
+  // (slightly compressed by averaging over bins).
+  EXPECT_GT(peak_share / trough_share, 1.6);
+  EXPECT_LT(peak_share / trough_share, 2.8);
+}
+
 TEST(ClusterTest, RunClusterServingIsDeterministic) {
   const ClusterConfig config = SmallConfig(PlacementPolicy::kModelAffinity, SystemKind::kLithos);
   const ClusterResult a = RunClusterServing(config);
