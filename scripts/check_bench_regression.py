@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_*.json run against a checked-in baseline.
+
+Every metric present in the baseline must also be present in the current run
+and must not fall more than --tolerance (default 20%) below the baseline
+value. Metrics in the run but not in the baseline are ignored, so benches can
+emit extra diagnostics freely. All baseline metrics are floors ("higher is
+better"); 0/1 flags like the determinism bits work naturally because
+1 * (1 - 0.2) = 0.8 still requires the flag to be 1.
+
+Usage:
+    check_bench_regression.py CURRENT_JSON BASELINE_JSON [--tolerance 0.2]
+
+Exit status: 0 when every metric holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        sys.exit(f"{path}: no 'metrics' object")
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="BENCH_*.json produced by the bench run")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop below baseline (default 0.2)",
+    )
+    args = parser.parse_args()
+
+    current = load_metrics(args.current)
+    baseline = load_metrics(args.baseline)
+
+    failures = []
+    for key, base_value in sorted(baseline.items()):
+        if key not in current:
+            failures.append(f"{key}: missing from {args.current}")
+            continue
+        floor = base_value * (1.0 - args.tolerance)
+        value = current[key]
+        status = "ok" if value >= floor else "FAIL"
+        print(f"{status:4s} {key}: {value:.6g} (floor {floor:.6g}, baseline {base_value:.6g})")
+        if value < floor:
+            failures.append(f"{key}: {value:.6g} < floor {floor:.6g}")
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed past tolerance {args.tolerance}:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nall {len(baseline)} baseline metrics within tolerance {args.tolerance}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,10 +77,13 @@ void TimesliceBackend::SwitchTo(int client_id) {
 }
 
 void TimesliceBackend::ArmQuantum() {
-  if (quantum_event_ != 0) {
-    sim_->Cancel(quantum_event_);
+  // Re-arm the standing timer in place; a fresh event is only created the
+  // first time (or after the timer fired and cleared itself).
+  const TimeNs at = sim_->Now() + quantum_;
+  if (quantum_event_ != 0 && sim_->Reschedule(quantum_event_, at)) {
+    return;
   }
-  quantum_event_ = sim_->ScheduleAfter(quantum_, [this] {
+  quantum_event_ = sim_->ScheduleAt(at, [this] {
     quantum_event_ = 0;
     OnQuantumExpired();
   });

@@ -20,29 +20,74 @@ ExecutionEngine::ExecutionEngine(Simulator* sim, const GpuSpec& spec)
       desired_mhz_(spec.max_mhz),
       last_account_(sim->Now()) {}
 
-double ExecutionEngine::EffectiveTpcs(const Grant& g) const {
-  double effective = 0;
-  const double w = g.item.share_weight;
-  for (int t = 0; t < spec_.TotalTpcs(); ++t) {
-    if (g.mask.test(t)) {
-      LITHOS_CHECK_GT(sharers_[t], 0);
-      effective += w / share_weight_[t];
-    }
+ExecutionEngine::Grant* ExecutionEngine::Resolve(GrantId id) {
+  const uint32_t slot = SlotOf(id);
+  if (slot >= grants_.size()) {
+    return nullptr;
   }
-  return effective;
+  Grant& g = grants_[slot];
+  if (!g.occupied || g.generation != GenOf(id)) {
+    return nullptr;
+  }
+  return &g;
+}
+
+const ExecutionEngine::Grant* ExecutionEngine::Resolve(GrantId id) const {
+  return const_cast<ExecutionEngine*>(this)->Resolve(id);
+}
+
+uint32_t ExecutionEngine::AllocGrantSlot() {
+  if (!free_grants_.empty()) {
+    const uint32_t slot = free_grants_.back();
+    free_grants_.pop_back();
+    return slot;
+  }
+  grants_.emplace_back();
+  return static_cast<uint32_t>(grants_.size() - 1);
+}
+
+void ExecutionEngine::FreeGrantSlot(uint32_t slot) {
+  Grant& g = grants_[slot];
+  g.occupied = false;
+  g.paused = false;
+  g.item = WorkItem{};
+  g.completion_event = 0;
+  ++g.generation;
+  if (g.generation == 0) {
+    g.generation = 1;
+  }
+  free_grants_.push_back(slot);
 }
 
 double ExecutionEngine::CurrentLatencyNs(const Grant& g) const {
   const KernelDesc& k = *g.item.kernel;
   const uint32_t lo = g.item.block_lo;
   const uint32_t hi = g.item.block_hi == 0 ? k.NumBlocks() : g.item.block_hi;
-  const double effective = std::max(EffectiveTpcs(g), 1e-6);
+
+  // One pass over the mask computes both the effective TPC share and the
+  // foreign share-weight fraction.
+  const double w = g.item.share_weight;
+  double effective = 0;
+  double foreign_sum = 0;
+  int n = 0;
+  for (int t = 0; t < spec_.TotalTpcs(); ++t) {
+    if (g.mask.test(t)) {
+      LITHOS_CHECK_GT(sharers_[t], 0);
+      const double total_w = share_weight_[t];
+      effective += w / total_w;
+      if (total_w > w) {
+        foreign_sum += (total_w - w) / total_w;
+      }
+      ++n;
+    }
+  }
+  effective = std::max(effective, 1e-6);
   double lat = static_cast<double>(k.RangeLatencyNs(spec_, lo, hi, effective, current_mhz_));
 
   // Intra-SM co-residency contention: average foreign share-weight fraction
   // across the grant's TPCs, discounted by the kernel's own device-filling
   // ability (see GpuSpec::coresidency_penalty).
-  const double foreign = ForeignShareFraction(g);
+  const double foreign = n > 0 ? foreign_sum / static_cast<double>(n) : 0.0;
   if (foreign > 0) {
     const double own_span =
         std::min(1.0, static_cast<double>(k.MaxUsefulTpcs(spec_)) /
@@ -57,128 +102,142 @@ double ExecutionEngine::CurrentLatencyNs(const Grant& g) const {
   return std::max(lat, 1.0);
 }
 
-double ExecutionEngine::ForeignShareFraction(const Grant& g) const {
-  const double w = g.item.share_weight;
-  double sum = 0;
-  int n = 0;
-  for (int t = 0; t < spec_.TotalTpcs(); ++t) {
-    if (g.mask.test(t)) {
-      ++n;
-      if (share_weight_[t] > w) {
-        sum += (share_weight_[t] - w) / share_weight_[t];
-      }
-    }
-  }
-  return n > 0 ? sum / static_cast<double>(n) : 0.0;
-}
-
-void ExecutionEngine::CheckpointAll() {
+void ExecutionEngine::FlushAccounting() {
   const TimeNs now = sim_->Now();
   const double dt = static_cast<double>(now - last_account_);
-  if (dt > 0) {
-    // Progress.
-    for (auto& [id, g] : grants_) {
-      if (g.paused) {
-        continue;
-      }
-      const double elapsed = static_cast<double>(now - g.last_checkpoint);
-      if (elapsed > 0) {
-        g.progress = std::min(1.0, g.progress + elapsed / CurrentLatencyNs(g));
-      }
-      g.last_checkpoint = now;
-    }
-
-    // Power & capacity integrals.
-    int busy = 0;
-    for (int t = 0; t < spec_.TotalTpcs(); ++t) {
-      if (sharers_[t] > 0) {
-        ++busy;
-      }
-    }
-    const double dt_s = dt / static_cast<double>(kSecond);
-    const double f_ratio = static_cast<double>(current_mhz_) / static_cast<double>(spec_.max_mhz);
-    const double idle_j =
-        power_gated_
-            ? spec_.gated_power_w * dt_s
-            : spec_.idle_power_w *
-                  (spec_.idle_freq_floor + (1.0 - spec_.idle_freq_floor) * f_ratio) * dt_s;
-    stats_.energy_joules += InstantPowerW() * dt_s;
-    stats_.idle_energy_joules += idle_j;
-    stats_.busy_tpc_seconds += static_cast<double>(busy) * dt_s;
-    stats_.elapsed_seconds += dt_s;
-    for (const auto& [id, g] : grants_) {
-      if (!g.paused) {
-        stats_.allocated_tpc_seconds[g.item.client_id] +=
-            static_cast<double>(g.mask.count()) * dt_s;
-      }
-    }
-    last_account_ = now;
-  } else {
-    // Zero elapsed time: still stamp checkpoints so later math is anchored.
-    for (auto& [id, g] : grants_) {
-      g.last_checkpoint = now;
-    }
+  if (dt <= 0) {
+    return;
   }
+  const double dt_s = dt / static_cast<double>(kSecond);
+  const double f_ratio = static_cast<double>(current_mhz_) / static_cast<double>(spec_.max_mhz);
+  const double idle_j =
+      power_gated_
+          ? spec_.gated_power_w * dt_s
+          : spec_.idle_power_w *
+                (spec_.idle_freq_floor + (1.0 - spec_.idle_freq_floor) * f_ratio) * dt_s;
+  stats_.energy_joules += InstantPowerW() * dt_s;
+  stats_.idle_energy_joules += idle_j;
+  stats_.busy_tpc_seconds += static_cast<double>(busy_mask_.count()) * dt_s;
+  stats_.elapsed_seconds += dt_s;
+  // Between flushes the running set is constant, so the per-client allocation
+  // rate accumulated in client_alloc_tpcs_ held for the whole interval.
+  for (const int c : active_clients_) {
+    client_alloc_seconds_[static_cast<size_t>(c)] +=
+        static_cast<double>(client_alloc_tpcs_[static_cast<size_t>(c)]) * dt_s;
+  }
+  last_account_ = now;
 }
 
 double ExecutionEngine::InstantPowerW() const {
   if (power_gated_) {
     return spec_.gated_power_w;
   }
-  int busy = 0;
-  for (int t = 0; t < spec_.TotalTpcs(); ++t) {
-    if (sharers_[t] > 0) {
-      ++busy;
-    }
-  }
-  const double busy_frac = static_cast<double>(busy) / static_cast<double>(spec_.TotalTpcs());
+  const double busy_frac =
+      static_cast<double>(busy_mask_.count()) / static_cast<double>(spec_.TotalTpcs());
   const double f_ratio = static_cast<double>(current_mhz_) / static_cast<double>(spec_.max_mhz);
   const double idle_scale = spec_.idle_freq_floor + (1.0 - spec_.idle_freq_floor) * f_ratio;
   return spec_.idle_power_w * idle_scale +
          spec_.dynamic_power_w * busy_frac * std::pow(f_ratio, spec_.freq_power_exponent);
 }
 
+void ExecutionEngine::CheckpointGrant(Grant& g) {
+  const TimeNs now = sim_->Now();
+  const double elapsed = static_cast<double>(now - g.last_checkpoint);
+  if (elapsed > 0) {
+    g.progress = std::min(1.0, g.progress + elapsed / CurrentLatencyNs(g));
+  }
+  g.last_checkpoint = now;
+}
+
+void ExecutionEngine::CheckpointOverlapping(const TpcMask& touched) {
+  for (Grant& g : grants_) {
+    if (g.occupied && !g.paused && (g.mask & touched).any()) {
+      CheckpointGrant(g);
+    }
+  }
+}
+
+void ExecutionEngine::RescheduleOverlapping(const TpcMask& touched) {
+  for (Grant& g : grants_) {
+    if (g.occupied && !g.paused && (g.mask & touched).any()) {
+      RescheduleGrant(g);
+    }
+  }
+}
+
+void ExecutionEngine::CheckpointAllRunning() {
+  for (Grant& g : grants_) {
+    if (g.occupied && !g.paused) {
+      CheckpointGrant(g);
+    }
+  }
+}
+
+void ExecutionEngine::RescheduleAllRunning() {
+  for (Grant& g : grants_) {
+    if (g.occupied && !g.paused) {
+      RescheduleGrant(g);
+    }
+  }
+}
+
 void ExecutionEngine::RescheduleGrant(Grant& g) {
-  if (g.completion_event != 0) {
-    sim_->Cancel(g.completion_event);
-    g.completion_event = 0;
-  }
-  if (g.paused) {
-    return;
-  }
   const double remaining = (1.0 - g.progress) * CurrentLatencyNs(g);
   const TimeNs finish =
       sim_->Now() + std::max<DurationNs>(0, static_cast<DurationNs>(std::ceil(remaining)));
+  if (g.completion_event != 0 && sim_->Reschedule(g.completion_event, finish)) {
+    return;  // Moved in place: no cancel, no re-insert, no new allocation.
+  }
   const GrantId id = g.id;
   g.completion_event = sim_->ScheduleAt(finish, [this, id] { OnGrantFinished(id); });
 }
 
-void ExecutionEngine::RescheduleAll() {
-  for (auto& [id, g] : grants_) {
-    RescheduleGrant(g);
+void ExecutionEngine::EnsureClient(int client_id) {
+  LITHOS_CHECK_GE(client_id, 0);
+  const size_t need = static_cast<size_t>(client_id) + 1;
+  if (client_running_.size() < need) {
+    client_running_.resize(need, 0);
+    client_alloc_tpcs_.resize(need, 0);
+    client_alloc_seconds_.resize(need, 0.0);
   }
 }
 
-void ExecutionEngine::AddToTpcs(const Grant& g) {
+void ExecutionEngine::AddToTpcs(Grant& g) {
   for (int t = 0; t < spec_.TotalTpcs(); ++t) {
     if (g.mask.test(t)) {
-      ++sharers_[t];
+      if (sharers_[t]++ == 0) {
+        busy_mask_.set(t);
+      }
       share_weight_[t] += g.item.share_weight;
     }
   }
+  const int c = g.item.client_id;
+  EnsureClient(c);
+  client_alloc_tpcs_[static_cast<size_t>(c)] += static_cast<int>(g.mask.count());
+  if (client_running_[static_cast<size_t>(c)]++ == 0) {
+    active_clients_.push_back(c);
+  }
+  ++running_grants_;
 }
 
-void ExecutionEngine::RemoveFromTpcs(const Grant& g) {
+void ExecutionEngine::RemoveFromTpcs(Grant& g) {
   for (int t = 0; t < spec_.TotalTpcs(); ++t) {
     if (g.mask.test(t)) {
       LITHOS_CHECK_GT(sharers_[t], 0);
-      --sharers_[t];
-      share_weight_[t] -= g.item.share_weight;
-      if (sharers_[t] == 0) {
+      if (--sharers_[t] == 0) {
+        busy_mask_.reset(t);
         share_weight_[t] = 0;  // Clear accumulated floating-point residue.
+      } else {
+        share_weight_[t] -= g.item.share_weight;
       }
     }
   }
+  const int c = g.item.client_id;
+  client_alloc_tpcs_[static_cast<size_t>(c)] -= static_cast<int>(g.mask.count());
+  if (--client_running_[static_cast<size_t>(c)] == 0) {
+    active_clients_.erase(std::find(active_clients_.begin(), active_clients_.end(), c));
+  }
+  --running_grants_;
 }
 
 GrantId ExecutionEngine::Launch(WorkItem item, const TpcMask& mask) {
@@ -186,156 +245,146 @@ GrantId ExecutionEngine::Launch(WorkItem item, const TpcMask& mask) {
   LITHOS_CHECK_GT(mask.count(), 0u);
   LITHOS_CHECK(!power_gated_);  // a powered-off device cannot execute work
 
-  CheckpointAll();
+  FlushAccounting();
+  // Sharing ratios change only for grants overlapping the new mask; they fold
+  // progress at the old rates before the newcomer lands.
+  CheckpointOverlapping(mask);
 
-  const GrantId id = next_grant_id_++;
-  Grant g;
-  g.id = id;
+  const uint32_t slot = AllocGrantSlot();
+  Grant& g = grants_[slot];
+  g.occupied = true;
+  g.paused = false;
+  g.id = MakeId(slot, g.generation);
   g.item = std::move(item);
   g.mask = mask;
+  g.progress = 0;
   g.submit_time = sim_->Now();
   g.start_time = sim_->Now();
   g.last_checkpoint = sim_->Now();
   g.freq_at_start = current_mhz_;
+  g.completion_event = 0;
 
   AddToTpcs(g);
-  grants_.emplace(id, std::move(g));
-  // Sharing ratios changed for everyone overlapping this mask; with few
-  // concurrent grants a global reschedule is cheap and simplest.
-  RescheduleAll();
-  return id;
+  // Includes the new grant itself: its first completion event is created here.
+  RescheduleOverlapping(mask);
+  return g.id;
 }
 
 void ExecutionEngine::Pause(GrantId id) {
-  auto it = grants_.find(id);
-  LITHOS_CHECK(it != grants_.end());
-  Grant& g = it->second;
-  LITHOS_CHECK(!g.paused);
+  Grant* g = Resolve(id);
+  LITHOS_CHECK(g != nullptr);
+  LITHOS_CHECK(!g->paused);
 
-  CheckpointAll();
-  RemoveFromTpcs(g);
-  g.paused = true;
-  RescheduleAll();
+  FlushAccounting();
+  CheckpointOverlapping(g->mask);
+  RemoveFromTpcs(*g);
+  g->paused = true;
+  if (g->completion_event != 0) {
+    sim_->Cancel(g->completion_event);
+    g->completion_event = 0;
+  }
+  RescheduleOverlapping(g->mask);  // former co-tenants speed up
 }
 
 void ExecutionEngine::Resume(GrantId id, const TpcMask& mask) {
-  auto it = grants_.find(id);
-  LITHOS_CHECK(it != grants_.end());
-  Grant& g = it->second;
-  LITHOS_CHECK(g.paused);
+  Grant* g = Resolve(id);
+  LITHOS_CHECK(g != nullptr);
+  LITHOS_CHECK(g->paused);
   LITHOS_CHECK_GT(mask.count(), 0u);
   LITHOS_CHECK(!power_gated_);
 
-  CheckpointAll();
-  g.mask = mask;
-  g.paused = false;
-  AddToTpcs(g);
-  RescheduleAll();
+  FlushAccounting();
+  CheckpointOverlapping(mask);  // incoming mask's tenants slow down
+  g->mask = mask;
+  g->paused = false;
+  g->last_checkpoint = sim_->Now();
+  AddToTpcs(*g);
+  RescheduleOverlapping(mask);  // includes the resumed grant
 }
 
 void ExecutionEngine::Reassign(GrantId id, const TpcMask& mask) {
-  auto it = grants_.find(id);
-  LITHOS_CHECK(it != grants_.end());
-  Grant& g = it->second;
+  Grant* g = Resolve(id);
+  LITHOS_CHECK(g != nullptr);
   LITHOS_CHECK_GT(mask.count(), 0u);
 
-  CheckpointAll();
-  if (!g.paused) {
-    RemoveFromTpcs(g);
+  if (g->paused) {
+    g->mask = mask;  // No rates change until Resume.
+    return;
   }
-  g.mask = mask;
-  if (!g.paused) {
-    AddToTpcs(g);
-  }
-  RescheduleAll();
+  FlushAccounting();
+  const TpcMask touched = g->mask | mask;
+  CheckpointOverlapping(touched);
+  RemoveFromTpcs(*g);
+  g->mask = mask;
+  AddToTpcs(*g);
+  RescheduleOverlapping(touched);
 }
 
 WorkItem ExecutionEngine::Abort(GrantId id) {
-  auto it = grants_.find(id);
-  LITHOS_CHECK(it != grants_.end());
+  Grant* g = Resolve(id);
+  LITHOS_CHECK(g != nullptr);
 
-  CheckpointAll();
-  Grant g = std::move(it->second);
-  grants_.erase(it);
-  if (!g.paused) {
-    RemoveFromTpcs(g);
+  FlushAccounting();
+  const TpcMask touched = g->mask;
+  const bool was_running = !g->paused;
+  if (was_running) {
+    CheckpointOverlapping(touched);
+    RemoveFromTpcs(*g);
   }
-  if (g.completion_event != 0) {
-    sim_->Cancel(g.completion_event);
+  if (g->completion_event != 0) {
+    sim_->Cancel(g->completion_event);
   }
+  WorkItem item = std::move(g->item);
+  FreeGrantSlot(SlotOf(id));
   ++stats_.grants_aborted;
-  RescheduleAll();
-  return std::move(g.item);
+  if (was_running) {
+    RescheduleOverlapping(touched);  // survivors speed up
+  }
+  return item;
 }
 
 void ExecutionEngine::OnGrantFinished(GrantId id) {
-  auto it = grants_.find(id);
-  if (it == grants_.end()) {
+  Grant* g = Resolve(id);
+  if (g == nullptr) {
     return;  // Raced with Abort.
   }
+  g->completion_event = 0;  // the firing event consumed itself
 
-  CheckpointAll();
-  Grant& g = it->second;
-  if (g.progress < 1.0 - kProgressEpsilon) {
+  FlushAccounting();
+  CheckpointGrant(*g);
+  if (g->progress < 1.0 - kProgressEpsilon) {
     // Conditions changed since this event was scheduled; not actually done.
-    RescheduleGrant(g);
+    RescheduleGrant(*g);
     return;
   }
 
   GrantInfo info;
-  info.id = g.id;
-  info.client_id = g.item.client_id;
-  info.stream_tag = g.item.stream_tag;
-  info.kernel = g.item.kernel;
-  info.block_lo = g.item.block_lo;
-  info.block_hi = g.item.block_hi == 0 ? g.item.kernel->NumBlocks() : g.item.block_hi;
-  info.submit_time = g.submit_time;
-  info.start_time = g.start_time;
+  info.id = g->id;
+  info.client_id = g->item.client_id;
+  info.stream_tag = g->item.stream_tag;
+  info.kernel = g->item.kernel;
+  info.block_lo = g->item.block_lo;
+  info.block_hi = g->item.block_hi == 0 ? g->item.kernel->NumBlocks() : g->item.block_hi;
+  info.submit_time = g->submit_time;
+  info.start_time = g->start_time;
   info.end_time = sim_->Now();
-  info.allocated_tpcs = static_cast<int>(g.mask.count());
-  info.freq_mhz_at_start = g.freq_at_start;
+  info.allocated_tpcs = static_cast<int>(g->mask.count());
+  info.freq_mhz_at_start = g->freq_at_start;
 
-  std::function<void(const GrantInfo&)> cb = std::move(g.item.on_complete);
-  RemoveFromTpcs(g);
-  grants_.erase(it);
+  const TpcMask touched = g->mask;
+  // Co-tenants fold progress at the shared rate before the capacity frees up.
+  CheckpointOverlapping(touched);
+  std::function<void(const GrantInfo&)> cb = std::move(g->item.on_complete);
+  RemoveFromTpcs(*g);
+  FreeGrantSlot(SlotOf(id));
   ++stats_.grants_completed;
-  RescheduleAll();
+  RescheduleOverlapping(touched);  // survivors speed up
 
   // The callback runs after engine state is consistent; it typically launches
   // the next kernel in the stream.
   if (cb) {
     cb(info);
   }
-}
-
-TpcMask ExecutionEngine::BusyMask() const {
-  TpcMask mask;
-  for (int t = 0; t < spec_.TotalTpcs(); ++t) {
-    if (sharers_[t] > 0) {
-      mask.set(t);
-    }
-  }
-  return mask;
-}
-
-int ExecutionEngine::NumRunningGrants() const {
-  int n = 0;
-  for (const auto& [id, g] : grants_) {
-    if (!g.paused) {
-      ++n;
-    }
-  }
-  return n;
-}
-
-std::vector<int> ExecutionEngine::ActiveClients() const {
-  std::vector<int> clients;
-  for (const auto& [id, g] : grants_) {
-    if (!g.paused && std::find(clients.begin(), clients.end(), g.item.client_id) == clients.end()) {
-      clients.push_back(g.item.client_id);
-    }
-  }
-  return clients;
 }
 
 void ExecutionEngine::RequestFrequencyMhz(int mhz) {
@@ -348,11 +397,14 @@ void ExecutionEngine::RequestFrequencyMhz(int mhz) {
     return;  // A switch is in flight; it will apply the latest desired state.
   }
   switch_event_ = sim_->ScheduleAfter(spec_.freq_switch_latency, [this] {
-    CheckpointAll();
+    // The clock is global: every running grant's rate changes, so this is the
+    // one mutation that checkpoints and reschedules the full running set.
+    FlushAccounting();
+    CheckpointAllRunning();
     switch_event_ = 0;
     if (current_mhz_ != desired_mhz_) {
       current_mhz_ = desired_mhz_;
-      RescheduleAll();
+      RescheduleAllRunning();
       // The desired state may have moved again while switching.
       if (desired_mhz_ != current_mhz_) {
         RequestFrequencyMhz(desired_mhz_);
@@ -367,23 +419,28 @@ void ExecutionEngine::SetPowerGated(bool gated) {
   }
   // Fold the interval spent in the previous power state into the integrals
   // before the draw changes.
-  CheckpointAll();
+  FlushAccounting();
   if (gated) {
-    LITHOS_CHECK(BusyMask().none());  // drain before powering off
+    LITHOS_CHECK(busy_mask_.none());  // drain before powering off
   }
   power_gated_ = gated;
 }
 
 const EngineStats& ExecutionEngine::Stats() {
-  CheckpointAll();
-  RescheduleAll();
+  FlushAccounting();
+  stats_.allocated_tpc_seconds.clear();
+  for (size_t c = 0; c < client_alloc_seconds_.size(); ++c) {
+    if (client_alloc_seconds_[c] > 0) {
+      stats_.allocated_tpc_seconds[static_cast<int>(c)] = client_alloc_seconds_[c];
+    }
+  }
   return stats_;
 }
 
 void ExecutionEngine::ResetStats() {
-  CheckpointAll();
-  RescheduleAll();
+  FlushAccounting();
   stats_ = EngineStats{};
+  std::fill(client_alloc_seconds_.begin(), client_alloc_seconds_.end(), 0.0);
 }
 
 }  // namespace lithos

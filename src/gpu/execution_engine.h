@@ -6,15 +6,25 @@
 // ground-truth latency under the grant's *effective* TPC allocation and the
 // device's current clock. TPCs may be shared by multiple grants (this is how
 // MPS-style concurrency is expressed): a TPC contributes 1/n of itself to
-// each of its n resident grants. Any change — launch, completion, pause,
-// abort, reassignment, or a DVFS transition — checkpoints the progress of
-// every active grant and recomputes finish times.
+// each of its n resident grants.
 //
 // This one substrate expresses:
 //   * exclusive spatial allocation  (LithOS, MIG, thread Limits)
 //   * processor sharing             (MPS)
 //   * temporal preemption           (time slicing: Pause/Resume keep progress)
 //   * reset-based preemption        (REEF: Abort discards progress)
+//
+// Hot-path design: a mutation (launch, completion, pause, abort, reassign)
+// only changes the progress rates of grants whose masks overlap the touched
+// TPCs — disjoint grants keep their rate, so their progress and completion
+// events are left untouched (the *affected-set* fast path). Affected grants
+// checkpoint their progress at the old rates, then their completion events
+// are moved in place with Simulator::Reschedule. Only a DVFS transition
+// touches every running grant (the clock is global). Grants live in a
+// slot-indexed slab with generation-tagged GrantIds; the busy mask, running
+// counts, active-client list, and per-client allocation rates are maintained
+// incrementally so the control-plane pollers (fleet controller, DVFS, right-
+// sizer) never trigger a rebuild.
 //
 // The engine also integrates power and allocation accounting so the
 // right-sizing (Fig. 17) and DVFS (Fig. 18) experiments read energy and
@@ -26,7 +36,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/time.h"
@@ -36,6 +45,9 @@
 
 namespace lithos {
 
+// Handle identifying a grant. Encodes (slot, generation): a handle to a
+// completed or aborted grant never aliases a live one even when the slot is
+// recycled.
 using GrantId = uint64_t;
 inline constexpr GrantId kInvalidGrant = 0;
 
@@ -74,7 +86,9 @@ struct WorkItem {
   std::function<void(const GrantInfo&)> on_complete;
 };
 
-// Cumulative accounting snapshot.
+// Cumulative accounting snapshot. The per-client map is materialized from the
+// engine's flat accumulator by Stats(); the accounting hot path never touches
+// a map.
 struct EngineStats {
   double energy_joules = 0;
   double busy_tpc_seconds = 0;      // integral of |busy TPCs| over time
@@ -115,17 +129,18 @@ class ExecutionEngine {
   // scratch; accumulated progress is discarded.
   WorkItem Abort(GrantId id);
 
-  bool IsActive(GrantId id) const { return grants_.count(id) > 0; }
+  bool IsActive(GrantId id) const { return Resolve(id) != nullptr; }
 
-  // --- Device state --------------------------------------------------------
+  // --- Device state (all O(1); maintained incrementally) -------------------
 
   // TPCs with at least one running (non-paused) grant.
-  TpcMask BusyMask() const;
-  int NumRunningGrants() const;
+  const TpcMask& BusyMask() const { return busy_mask_; }
+  int NumRunningGrants() const { return running_grants_; }
   // Number of running grants whose mask includes `tpc`.
   int SharersOn(int tpc) const { return sharers_[tpc]; }
-  // Clients with at least one running grant.
-  std::vector<int> ActiveClients() const;
+  // Clients with at least one running grant, in first-became-active order.
+  // The reference stays valid but its contents change with engine state.
+  const std::vector<int>& ActiveClients() const { return active_clients_; }
 
   // --- DVFS ----------------------------------------------------------------
 
@@ -157,11 +172,15 @@ class ExecutionEngine {
   double InstantPowerW() const;
 
  private:
+  // Slab entry: grants are recycled through a free list; `generation`
+  // increments on every free so stale GrantIds never resolve.
   struct Grant {
-    GrantId id;
+    bool occupied = false;
+    bool paused = false;
+    uint32_t generation = 1;
+    GrantId id = kInvalidGrant;
     WorkItem item;
     TpcMask mask;
-    bool paused = false;
     double progress = 0;          // fraction of work done, [0, 1]
     TimeNs last_checkpoint = 0;
     TimeNs submit_time = 0;
@@ -170,31 +189,66 @@ class ExecutionEngine {
     EventId completion_event = 0;
   };
 
-  // Effective TPCs a grant currently owns (sum of per-TPC shares).
-  double EffectiveTpcs(const Grant& g) const;
-  // Average foreign share-weight fraction across the grant's TPCs (0 when the
-  // grant runs alone on its mask).
-  double ForeignShareFraction(const Grant& g) const;
-  // Ground-truth latency of the grant's full work under current conditions.
+  static uint32_t SlotOf(GrantId id) { return static_cast<uint32_t>(id); }
+  static uint32_t GenOf(GrantId id) { return static_cast<uint32_t>(id >> 32); }
+  static GrantId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<GrantId>(gen) << 32) | slot;
+  }
+
+  Grant* Resolve(GrantId id);
+  const Grant* Resolve(GrantId id) const;
+  uint32_t AllocGrantSlot();
+  void FreeGrantSlot(uint32_t slot);
+
+  // Ground-truth latency of the grant's full work under current conditions
+  // (effective TPCs and co-residency tax fused into one mask pass).
   double CurrentLatencyNs(const Grant& g) const;
 
-  // Folds elapsed time into every running grant's progress and into the
-  // power/allocation integrals. Must be called before any state mutation.
-  void CheckpointAll();
-  // Recomputes and reschedules completion events for all running grants.
-  void RescheduleAll();
+  // Folds elapsed time into the power/allocation integrals (O(active
+  // clients)). Must run before any mutation that changes power draw, the busy
+  // mask, or per-client allocation rates.
+  void FlushAccounting();
+
+  // Folds elapsed time into one grant's progress at its current rate. Must
+  // run before anything changes that rate.
+  void CheckpointGrant(Grant& g);
+
+  // Affected set: running grants whose mask overlaps `touched`. Checkpoint
+  // before the mutation (rates are about to change), reschedule after (rates
+  // have changed). Disjoint grants keep rate, progress, and completion event.
+  void CheckpointOverlapping(const TpcMask& touched);
+  void RescheduleOverlapping(const TpcMask& touched);
+  // DVFS transitions change every running grant's rate.
+  void CheckpointAllRunning();
+  void RescheduleAllRunning();
+
+  // Moves the grant's completion event to its recomputed finish time
+  // (in-place Reschedule when the event is live, fresh ScheduleAt otherwise).
   void RescheduleGrant(Grant& g);
   void OnGrantFinished(GrantId id);
 
-  void AddToTpcs(const Grant& g);
-  void RemoveFromTpcs(const Grant& g);
+  // TPC bookkeeping + incremental device state (busy mask, running count,
+  // per-client running/allocation counters, active-client list).
+  void AddToTpcs(Grant& g);
+  void RemoveFromTpcs(Grant& g);
+  void EnsureClient(int client_id);
 
   Simulator* sim_;
   GpuSpec spec_;
-  std::unordered_map<GrantId, Grant> grants_;
-  std::array<int, kMaxTpcs> sharers_{};         // running (non-paused) grants per TPC
+
+  std::vector<Grant> grants_;            // slab; iterate by slot, skip !occupied
+  std::vector<uint32_t> free_grants_;
+
+  std::array<int, kMaxTpcs> sharers_{};          // running (non-paused) grants per TPC
   std::array<double, kMaxTpcs> share_weight_{};  // sum of share weights per TPC
-  GrantId next_grant_id_ = 1;
+
+  // Incrementally maintained device state.
+  TpcMask busy_mask_;
+  int running_grants_ = 0;
+  std::vector<int> active_clients_;      // client ids with >= 1 running grant
+  std::vector<int> client_running_;      // running grants per client id
+  std::vector<int> client_alloc_tpcs_;   // sum of mask bits over running grants
+  std::vector<double> client_alloc_seconds_;  // flat integral; Stats() builds the map
 
   int current_mhz_;
   int desired_mhz_;

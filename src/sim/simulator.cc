@@ -1,47 +1,169 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
+
 namespace lithos {
 
-EventId Simulator::ScheduleAt(TimeNs at, std::function<void()> fn) {
+EventId Simulator::ScheduleAt(TimeNs at, EventCallback fn) {
   LITHOS_CHECK_GE(at, now_);
-  const EventId id = next_id_++;
-  queue_.push(Event{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  LITHOS_CHECK(static_cast<bool>(fn));
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.at = at;
+  s.seq = next_seq_++;
+  s.fn = std::move(fn);
+  heap_.push_back(slot);
+  s.heap_index = static_cast<int32_t>(heap_.size() - 1);
+  SiftUp(heap_.size() - 1);
+  return MakeId(slot, s.generation);
+}
+
+Simulator::Slot* Simulator::Resolve(EventId id) {
+  const uint32_t slot = SlotOf(id);
+  if (slot >= slots_.size()) {
+    return nullptr;
+  }
+  Slot& s = slots_[slot];
+  if (s.generation != GenOf(id) || s.heap_index < 0) {
+    return nullptr;
+  }
+  return &s;
+}
+
+void Simulator::Cancel(EventId id) {
+  Slot* s = Resolve(id);
+  if (s == nullptr) {
+    return;  // Already fired, cancelled, or never existed.
+  }
+  RemoveFromHeap(static_cast<size_t>(s->heap_index));
+  FreeSlot(SlotOf(id));
+}
+
+bool Simulator::Reschedule(EventId id, TimeNs at) {
+  Slot* s = Resolve(id);
+  if (s == nullptr) {
+    // Stale before validating `at`: a caller racing its own timer's firing
+    // may hold a dead id and a deadline the clock has already passed; the
+    // contract is a false return, not a crash.
+    return false;
+  }
+  LITHOS_CHECK_GE(at, now_);
+  s->at = at;
+  // Fresh sequence number: identical ordering to Cancel() + ScheduleAt(), so
+  // callers can switch between the two without changing any schedule.
+  s->seq = next_seq_++;
+  const size_t pos = static_cast<size_t>(s->heap_index);
+  if (!SiftUp(pos)) {
+    SiftDown(pos);
+  }
+  return true;
+}
+
+bool Simulator::SiftUp(size_t pos) {
+  const uint32_t slot = heap_[pos];
+  size_t i = pos;
+  while (i > 0) {
+    const size_t parent = (i - 1) / kArity;
+    if (!Before(slot, heap_[parent])) {
+      break;
+    }
+    Place(i, heap_[parent]);
+    i = parent;
+  }
+  if (i == pos) {
+    return false;
+  }
+  Place(i, slot);
+  return true;
+}
+
+void Simulator::SiftDown(size_t pos) {
+  const uint32_t slot = heap_[pos];
+  const size_t n = heap_.size();
+  size_t i = pos;
+  for (;;) {
+    const size_t first = i * kArity + 1;
+    if (first >= n) {
+      break;
+    }
+    size_t best = first;
+    const size_t last = std::min(first + kArity, n);
+    for (size_t c = first + 1; c < last; ++c) {
+      if (Before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Before(heap_[best], slot)) {
+      break;
+    }
+    Place(i, heap_[best]);
+    i = best;
+  }
+  if (i != pos) {
+    Place(i, slot);
+  }
+}
+
+void Simulator::RemoveFromHeap(size_t pos) {
+  const size_t last = heap_.size() - 1;
+  if (pos == last) {
+    heap_.pop_back();
+    return;
+  }
+  const uint32_t moved = heap_[last];
+  heap_.pop_back();
+  Place(pos, moved);
+  if (!SiftUp(pos)) {
+    SiftDown(pos);
+  }
+}
+
+void Simulator::FreeSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn.Reset();
+  s.heap_index = -1;
+  ++s.generation;
+  if (s.generation == 0) {
+    s.generation = 1;  // 0 is reserved so arbitrary ids never resolve
+  }
+  free_slots_.push_back(slot);
+}
+
+void Simulator::FireTop() {
+  const uint32_t slot = heap_[0];
+  Slot& s = slots_[slot];
+  LITHOS_CHECK_GE(s.at, now_);
+  now_ = s.at;
+  // Move the callback out and retire the slot *before* invoking: the callback
+  // may schedule (growing the slab), cancel, or even reference its own id —
+  // all safe once the slot is free.
+  EventCallback fn = std::move(s.fn);
+  RemoveFromHeap(0);
+  FreeSlot(slot);
+  fn();
 }
 
 bool Simulator::Step() {
-  while (!queue_.empty()) {
-    const Event ev = queue_.top();
-    queue_.pop();
-    auto it = callbacks_.find(ev.id);
-    if (it == callbacks_.end()) {
-      continue;  // Cancelled.
-    }
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    LITHOS_CHECK_GE(ev.at, now_);
-    now_ = ev.at;
-    fn();
-    return true;
+  if (heap_.empty()) {
+    return false;
   }
-  return false;
+  FireTop();
+  return true;
 }
 
 void Simulator::RunUntil(TimeNs deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (callbacks_.find(top.id) == callbacks_.end()) {
-      queue_.pop();  // Cancelled; drop without advancing the clock.
-      continue;
-    }
-    if (top.at > deadline) {
-      if (deadline != kTimeInfinity) {
-        now_ = deadline;
-      }
-      return;
-    }
-    Step();
+  // Each event is examined exactly once: the head is either beyond the
+  // deadline (stop) or fired immediately. No tombstones exist, so the head is
+  // always live.
+  while (!heap_.empty() && slots_[heap_[0]].at <= deadline) {
+    FireTop();
   }
   if (deadline != kTimeInfinity && deadline > now_) {
     now_ = deadline;

@@ -1,18 +1,36 @@
 // Deterministic discrete-event simulation engine.
 //
 // Every component of the LithOS reproduction — the GPU execution engine, the
-// driver shim, the LithOS scheduler, the baselines, and the workload clients —
-// is driven by this single event loop. Events at equal timestamps execute in
-// insertion order (a monotonically increasing sequence number breaks ties), so
-// a given seed always produces an identical schedule, which the test suite
-// relies on.
+// driver shim, the LithOS scheduler, the baselines, the cluster dispatcher,
+// and the fleet controller — is driven by this single event loop, so its
+// per-event cost gates how many scenarios a simulation campaign can afford.
+// The core is built for throughput:
+//
+//   * Events live in a slab (`slots_`) indexed by a d-ary heap of slot
+//     indices. No per-event heap allocation: the callback is stored inline in
+//     the slot via a small-buffer type-erased callable (EventCallback) for
+//     captures up to kInlineBytes.
+//   * EventIds encode (slot, generation); a stale handle — fired, cancelled,
+//     or recycled — resolves to nothing, so Cancel()/Reschedule() on dead
+//     events are safe no-ops.
+//   * Cancel() removes the event from the heap in place (O(log n), no
+//     tombstones); Reschedule() sifts the entry to its new timestamp instead
+//     of cancel + re-insert.
+//
+// Determinism contract: events at equal timestamps execute in insertion order
+// (a monotonically increasing sequence number breaks ties), so a given seed
+// always produces an identical schedule, which the test suite relies on.
+// Reschedule() re-stamps the sequence number: a rescheduled event behaves
+// exactly like Cancel() + ScheduleAt(), i.e. it runs after events already
+// scheduled at its new timestamp. See docs/simulator.md.
 #ifndef LITHOS_SIM_SIMULATOR_H_
 #define LITHOS_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/check.h"
@@ -20,8 +38,102 @@
 
 namespace lithos {
 
-// Handle identifying a scheduled event; used for cancellation.
+// Handle identifying a scheduled event; used for cancellation and
+// rescheduling. Encodes (slot index, generation) so handles of fired or
+// cancelled events never alias a live one.
 using EventId = uint64_t;
+
+// Type-erased move-only `void()` callable with inline small-buffer storage.
+// Callables whose captures fit kInlineBytes (and are nothrow-movable) live
+// inside the event slot itself; larger ones fall back to a single heap
+// allocation. This is what makes ScheduleAt() allocation-free for the
+// engine's `[this, id]`-style completion callbacks.
+class EventCallback {
+ public:
+  static constexpr size_t kInlineBytes = 48;
+
+  EventCallback() = default;
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  EventCallback(EventCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  ~EventCallback() { Reset(); }
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventCallback> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &InlineOps<D>::kOps;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &HeapOps<D>::kOps;
+    }
+  }
+
+  void operator()() { ops_->invoke(storage_); }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst's storage from src's and destroys src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static D* Get(void* s) { return std::launder(reinterpret_cast<D*>(s)); }
+    static void Invoke(void* s) { (*Get(s))(); }
+    static void Relocate(void* dst, void* src) {
+      D* from = Get(src);
+      ::new (dst) D(std::move(*from));
+      from->~D();
+    }
+    static void Destroy(void* s) { Get(s)->~D(); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename D>
+  struct HeapOps {
+    static D* Get(void* s) { return *std::launder(reinterpret_cast<D**>(s)); }
+    static void Invoke(void* s) { (*Get(s))(); }
+    static void Relocate(void* dst, void* src) { ::new (dst) D*(Get(src)); }
+    static void Destroy(void* s) { delete Get(s); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy};
+  };
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
 
 class Simulator {
  public:
@@ -32,18 +144,27 @@ class Simulator {
   TimeNs Now() const { return now_; }
 
   // Schedules `fn` to run at absolute time `at` (>= Now()). Returns an id that
-  // can be passed to Cancel().
-  EventId ScheduleAt(TimeNs at, std::function<void()> fn);
+  // can be passed to Cancel() or Reschedule().
+  EventId ScheduleAt(TimeNs at, EventCallback fn);
 
   // Schedules `fn` to run `delay` from now.
-  EventId ScheduleAfter(DurationNs delay, std::function<void()> fn) {
+  EventId ScheduleAfter(DurationNs delay, EventCallback fn) {
     LITHOS_CHECK_GE(delay, 0);
     return ScheduleAt(now_ + delay, std::move(fn));
   }
 
-  // Cancels a pending event. Cancelling an already-fired or unknown event is
-  // a no-op (schedulers frequently race completion against their own timers).
-  void Cancel(EventId id) { callbacks_.erase(id); }
+  // Cancels a pending event in place (O(log n), no tombstone). Cancelling an
+  // already-fired or unknown event is a no-op (schedulers frequently race
+  // completion against their own timers).
+  void Cancel(EventId id);
+
+  // Moves a pending event to absolute time `at` (>= Now()), keeping its
+  // callback and id. Equivalent to Cancel() + ScheduleAt() with the same
+  // callback — the event is re-stamped behind events already scheduled at
+  // `at` — but without destroying and re-creating the callback or the heap
+  // entry. Returns false (and does nothing) when the event already fired or
+  // was cancelled.
+  bool Reschedule(EventId id, TimeNs at);
 
   // Runs until the event queue drains or `deadline` is reached, whichever is
   // first. The clock advances to the deadline if events remain beyond it.
@@ -56,29 +177,55 @@ class Simulator {
   // empty. Exposed for fine-grained engine tests.
   bool Step();
 
-  size_t pending_events() const { return callbacks_.size(); }
+  size_t pending_events() const { return heap_.size(); }
 
  private:
-  struct Event {
-    TimeNs at;
-    uint64_t seq;
-    EventId id;
-
-    bool operator>(const Event& other) const {
-      if (at != other.at) {
-        return at > other.at;
-      }
-      return seq > other.seq;
-    }
+  // Slab entry. `heap_index` is the event's position in `heap_` (-1 when the
+  // slot is free); `generation` increments every time the slot is recycled so
+  // stale EventIds never resolve.
+  struct Slot {
+    TimeNs at = 0;
+    uint64_t seq = 0;
+    uint32_t generation = 1;
+    int32_t heap_index = -1;
+    EventCallback fn;
   };
+
+  static constexpr size_t kArity = 4;  // d-ary heap: shallower than binary
+
+  static uint32_t SlotOf(EventId id) { return static_cast<uint32_t>(id); }
+  static uint32_t GenOf(EventId id) { return static_cast<uint32_t>(id >> 32); }
+  static EventId MakeId(uint32_t slot, uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  // Returns the live slot for `id`, or nullptr when the id is stale.
+  Slot* Resolve(EventId id);
+
+  // Heap order: earliest (at, seq) first; seq is unique, so the order is
+  // total and pops are fully deterministic.
+  bool Before(uint32_t a, uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    return sa.at != sb.at ? sa.at < sb.at : sa.seq < sb.seq;
+  }
+
+  void Place(size_t pos, uint32_t slot) {
+    heap_[pos] = slot;
+    slots_[slot].heap_index = static_cast<int32_t>(pos);
+  }
+
+  bool SiftUp(size_t pos);     // returns true when the entry moved
+  void SiftDown(size_t pos);
+  void RemoveFromHeap(size_t pos);
+  void FreeSlot(uint32_t slot);
+  void FireTop();
 
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue_;
-  // Callbacks live out-of-line keyed by id; Cancel() simply erases the entry
-  // and the queue skips ids with no registered callback.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
+  std::vector<uint32_t> heap_;  // slot indices, d-ary min-heap by (at, seq)
 };
 
 }  // namespace lithos

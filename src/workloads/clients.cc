@@ -46,7 +46,9 @@ void BatchingInferenceServer::MaybeLaunch() {
   }
   if (delay_timer_ == 0) {
     // Wait for the batch to fill, but no longer than the oldest request's
-    // remaining delay budget (Triton's dynamic-batching rule).
+    // remaining delay budget (Triton's dynamic-batching rule). An armed timer
+    // is left untouched: the deadline tracks the oldest queued request, which
+    // only changes when a batch launches (and cancels the timer above).
     const TimeNs deadline = queue_.front() + max_queue_delay_;
     delay_timer_ = sim_->ScheduleAt(deadline, [this] {
       delay_timer_ = 0;

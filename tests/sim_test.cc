@@ -131,6 +131,111 @@ TEST(SimulatorTest, ZeroDelayEventRunsAtSameTime) {
   EXPECT_EQ(inner, 42);
 }
 
+// --- Cancel/Reschedule edge cases (slab heap, handle generations) -----------
+
+TEST(SimulatorTest, CancelHeadOfQueue) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventId head = sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(20, [&] { order.push_back(2); });
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  sim.Cancel(head);  // in-place removal of the heap minimum
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, RescheduleMovesEventEarlierAndLater) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(20, [&] { order.push_back(1); });
+  const EventId movable = sim.ScheduleAt(40, [&] { order.push_back(2); });
+  sim.ScheduleAt(30, [&] { order.push_back(3); });
+  EXPECT_TRUE(sim.Reschedule(movable, 10));  // sift up past both
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+
+  order.clear();
+  sim.ScheduleAt(sim.Now() + 10, [&] { order.push_back(1); });
+  const EventId late = sim.ScheduleAt(sim.Now() + 20, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.Reschedule(late, sim.Now() + 50));  // sift down
+  sim.ScheduleAt(sim.Now() + 30, [&] { order.push_back(3); });
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(SimulatorTest, RescheduleToEqualTimestampRunsAfterExisting) {
+  // Reschedule re-stamps the sequence number: the moved event behaves exactly
+  // like Cancel + ScheduleAt, i.e. it runs after events already scheduled at
+  // the same timestamp — even events it originally preceded.
+  Simulator sim;
+  std::vector<int> order;
+  const EventId moved = sim.ScheduleAt(10, [&] { order.push_back(1); });
+  sim.ScheduleAt(10, [&] { order.push_back(2); });
+  EXPECT_TRUE(sim.Reschedule(moved, 10));
+  sim.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(SimulatorTest, RescheduleUnknownOrFiredReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Reschedule(9999, 10));
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(5, [&] { fired = true; });
+  sim.RunToCompletion();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(sim.Reschedule(id, sim.Now() + 1));  // already fired
+  // A stale id paired with an already-passed deadline (a caller racing its
+  // own timer's firing) must also return false, not crash on the time check.
+  EXPECT_FALSE(sim.Reschedule(id, 1));
+  sim.Cancel(id);  // and cancelling stays a no-op
+}
+
+TEST(SimulatorTest, CancelInsideFiringCallback) {
+  // An event cancelling itself mid-fire is a no-op (its slot is already
+  // retired); cancelling a sibling at the same timestamp must still work.
+  Simulator sim;
+  bool sibling_fired = false;
+  EventId self = 0;
+  EventId sibling = 0;
+  self = sim.ScheduleAt(10, [&] {
+    sim.Cancel(self);     // no-op: currently firing
+    sim.Cancel(sibling);  // removes the equal-timestamp sibling
+  });
+  sibling = sim.ScheduleAt(10, [&] { sibling_fired = true; });
+  sim.RunToCompletion();
+  EXPECT_FALSE(sibling_fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RescheduleFromWithinCallback) {
+  Simulator sim;
+  std::vector<TimeNs> fired;
+  EventId target = 0;
+  sim.ScheduleAt(10, [&] { sim.Reschedule(target, 50); });
+  target = sim.ScheduleAt(20, [&] { fired.push_back(sim.Now()); });
+  sim.ScheduleAt(30, [&] { fired.push_back(sim.Now()); });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, (std::vector<TimeNs>{30, 50}));
+}
+
+TEST(SimulatorTest, RecycledSlotDoesNotAliasOldHandle) {
+  // Cancelling releases the slot; a new event may reuse it. The stale handle
+  // must not resolve to the newcomer (generation mismatch).
+  Simulator sim;
+  bool a_fired = false;
+  bool b_fired = false;
+  const EventId a = sim.ScheduleAt(10, [&] { a_fired = true; });
+  sim.Cancel(a);
+  const EventId b = sim.ScheduleAt(10, [&] { b_fired = true; });
+  EXPECT_NE(a, b);
+  sim.Cancel(a);                        // stale: must not touch b
+  EXPECT_FALSE(sim.Reschedule(a, 99));  // stale: must not move b
+  sim.RunToCompletion();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
 // Property: an arbitrary interleaving of schedules and cancels never executes
 // a cancelled event and always respects time order.
 class SimFuzzTest : public ::testing::TestWithParam<uint64_t> {};
@@ -149,6 +254,11 @@ TEST_P(SimFuzzTest, OrderAndCancellationInvariants) {
   for (int i = 0; i < 300; ++i) {
     const TimeNs at = static_cast<TimeNs>(next() % 1000);
     ids.push_back(sim.ScheduleAt(at, [&fired, &sim] { fired.push_back(sim.Now()); }));
+  }
+  // Reschedule a third of them to fresh timestamps (they must still fire,
+  // once, at the new time).
+  for (size_t i = 1; i < ids.size(); i += 3) {
+    EXPECT_TRUE(sim.Reschedule(ids[i], static_cast<TimeNs>(next() % 1000)));
   }
   // Cancel a third of them.
   size_t cancelled = 0;
