@@ -10,6 +10,9 @@
 //      compressed fleet days.
 //   2. Control-period sensitivity for the predictive scaler: a coarser loop
 //      saves fewer GPU-hours and reacts later; a finer one migrates more.
+//
+// Both sweeps run as one SweepRunner grid with declaration-order collection,
+// so the tables are byte-identical for any --jobs.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -47,12 +50,31 @@ void AddRow(Table& table, const AutoscaleResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Cluster autoscaling: scaling policy vs GPU-hours and energy per fleet-day",
       "Section 3 (Figs. 1, 4) — shedding the diurnal trough the static fleet idles through");
 
+  SweepRunner runner(ParseJobsArg(argc, argv));
   bench::JsonEmitter json("cluster_autoscale");
+
+  // One flat grid: the three scaling policies, then the four control
+  // periods of the sensitivity sweep.
+  const auto policies = AllScalingPolicies();
+  const std::vector<double> periods_ms = {125.0, 250.0, 500.0, 1000.0};
+  std::vector<SweepPoint<AutoscaleResult>> points;
+  for (ScalingPolicyKind scaling : policies) {
+    points.push_back({"policy/" + ScalingPolicyName(scaling),
+                      [scaling] { return RunClusterAutoscale(BaseConfig(scaling)); }});
+  }
+  for (double period_ms : periods_ms) {
+    points.push_back({"period/" + Table::Num(period_ms, 0), [period_ms] {
+                        AutoscaleConfig config = BaseConfig(ScalingPolicyKind::kPredictive);
+                        config.control_period = FromMillis(period_ms);
+                        return RunClusterAutoscale(config);
+                      }});
+  }
+  const std::vector<AutoscaleResult> results = runner.Run(points);
 
   // --- Sweep 1: policy comparison at equal traffic --------------------------
   std::printf("\nTwo fleet days on a %d-node pool (%.0f rps mean, diurnal max/min %.2f)\n",
@@ -61,8 +83,8 @@ int main() {
               FleetTelemetry(2026).MaxMinRpsRatio());
   Table headline({"policy", "GPU-h/day", "kJ/day", "p99 ms", "mean nodes", "migrations",
                   "power cycles", "prov util%"});
-  for (ScalingPolicyKind scaling : AllScalingPolicies()) {
-    const AutoscaleResult r = RunClusterAutoscale(BaseConfig(scaling));
+  for (size_t i = 0; i < policies.size(); ++i) {
+    const AutoscaleResult& r = results[i];
     AddRow(headline, r);
     const std::string prefix = ScalingPolicyName(r.scaling) + "_";
     json.Metric(prefix + "gpu_hours_per_day", r.gpu_hours_per_day);
@@ -80,17 +102,18 @@ int main() {
   // --- Sweep 2: control-period sensitivity (predictive) ---------------------
   std::printf("\nControl-period sensitivity (predictive scaler)\n");
   Table periods({"period ms", "GPU-h/day", "kJ/day", "p99 ms", "migrations", "power cycles"});
-  for (double period_ms : {125.0, 250.0, 500.0, 1000.0}) {
-    AutoscaleConfig config = BaseConfig(ScalingPolicyKind::kPredictive);
-    config.control_period = FromMillis(period_ms);
-    const AutoscaleResult r = RunClusterAutoscale(config);
-    periods.AddRow({Table::Num(period_ms, 0), Table::Num(r.gpu_hours_per_day, 1),
+  for (size_t i = 0; i < periods_ms.size(); ++i) {
+    const AutoscaleResult& r = results[policies.size() + i];
+    periods.AddRow({Table::Num(periods_ms[i], 0), Table::Num(r.gpu_hours_per_day, 1),
                     Table::Num(r.joules_per_day / 1000.0, 1), Table::Num(r.cluster.p99_ms, 1),
                     std::to_string(r.migrations),
                     std::to_string(r.power_ons + r.power_offs)});
   }
   periods.Print();
 
+  json.SetRun(runner.jobs(), runner.wall_seconds());
+  json.WallMetric("sweep_wall_seconds", runner.wall_seconds());
   json.Write();
+  runner.PrintSummary("cluster_autoscale");
   return 0;
 }

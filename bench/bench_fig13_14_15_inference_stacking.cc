@@ -8,6 +8,11 @@
 //   Fig. 13 — SLO attainment vs aggregate throughput scatter per system
 //   Fig. 14 — goodput by app class (BE / HP B / HP A)
 //   Fig. 15 — HP A P99 tail latency per model per system
+//
+// The (combo x system) grid runs through SweepRunner: every cell is a pure
+// point (own Simulator, per-point seeds), results are collected back in
+// declaration order, and the aggregation below walks them in exactly the
+// serial loop's order — so the tables are byte-identical for any --jobs.
 #include <map>
 
 #include "bench/bench_util.h"
@@ -26,10 +31,11 @@ struct SystemAgg {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Figures 13-15: Inference-only multitenancy (HP A + HP B + BE)",
               "Fig. 13 scatter, Fig. 14 goodput by app, Fig. 15 HP A tails");
 
+  SweepRunner runner(ParseJobsArg(argc, argv));
   SoloCache solos;
   const GpuSpec spec = GpuSpec::A100();
   std::map<SystemKind, SystemAgg> agg;
@@ -37,15 +43,22 @@ int main() {
   const auto combos = InferenceCombos();
   std::printf("running %zu combos x %zu systems...\n", combos.size(), AllSystems().size());
 
+  // Solo baselines for every app that appears, across the pool.
+  std::vector<AppSpec> solo_specs;
   for (const InferenceCombo& combo : combos) {
-    AppSpec hp_a = MakeHpApp(combo.hp_a, AppRole::kHpLatency);
-    AppSpec hp_b = MakeHpApp(combo.hp_b, AppRole::kHpThroughput);
-    AppSpec be = MakeBeInferenceApp(combo.be);
+    solo_specs.push_back(MakeHpApp(combo.hp_a, AppRole::kHpLatency));
+    solo_specs.push_back(MakeHpApp(combo.hp_b, AppRole::kHpThroughput));
+    solo_specs.push_back(MakeBeInferenceApp(combo.be));
+  }
+  solos.Prefetch(runner, solo_specs);
 
-    const AppResult& solo_a = solos.Get(hp_a);
-    const AppResult& solo_b = solos.Get(hp_b);
-    const AppResult& solo_be = solos.Get(be);
-
+  // The flat (combo x system) grid, declared combo-major like the serial
+  // loop it replaces.
+  std::vector<SweepPoint<StackingResult>> points;
+  for (const InferenceCombo& combo : combos) {
+    const AppSpec hp_a = MakeHpApp(combo.hp_a, AppRole::kHpLatency);
+    const AppSpec hp_b = MakeHpApp(combo.hp_b, AppRole::kHpThroughput);
+    const AppSpec be = MakeBeInferenceApp(combo.be);
     for (SystemKind system : AllSystems()) {
       StackingConfig cfg;
       cfg.system = system;
@@ -59,7 +72,24 @@ int main() {
       if (!no_be) {
         apps.push_back(c);
       }
-      const StackingResult r = RunStacking(cfg, apps);
+      points.push_back({combo.hp_a + "+" + combo.hp_b + "+" + combo.be + "/" +
+                            SystemName(system),
+                        [cfg, apps] { return RunStacking(cfg, apps); }});
+    }
+  }
+  const std::vector<StackingResult> results = runner.Run(points);
+
+  // Serial aggregation in declaration order: arithmetic (and therefore FP
+  // accumulation order) identical to the old in-loop walk.
+  size_t idx = 0;
+  for (const InferenceCombo& combo : combos) {
+    const AppResult& solo_a = solos.Get(MakeHpApp(combo.hp_a, AppRole::kHpLatency));
+    const AppResult& solo_b = solos.Get(MakeHpApp(combo.hp_b, AppRole::kHpThroughput));
+    const AppResult& solo_be = solos.Get(MakeBeInferenceApp(combo.be));
+
+    for (SystemKind system : AllSystems()) {
+      const StackingResult& r = results[idx++];
+      const bool no_be = system == SystemKind::kMig || system == SystemKind::kLimits;
 
       SystemAgg& s = agg[system];
       const double att = std::min(r.apps[0].slo_attainment, r.apps[1].slo_attainment);
@@ -133,5 +163,20 @@ int main() {
               mean_p99[SystemKind::kOrion] / mean_p99[SystemKind::kLithos]);
   std::printf("  TGS P99 / LithOS P99    = %.1fx   [paper: 3x]\n",
               mean_p99[SystemKind::kTgs] / mean_p99[SystemKind::kLithos]);
+
+  JsonEmitter json("fig13_14_15");
+  json.SetRun(runner.jobs(), runner.wall_seconds());
+  for (SystemKind system : AllSystems()) {
+    const SystemAgg& s = agg[system];
+    const std::string prefix = SystemName(system) + "_";
+    json.Metric(prefix + "slo_attainment", s.slo_attainment.mean());
+    json.Metric(prefix + "throughput_norm", s.throughput_norm.mean());
+    json.Metric(prefix + "mean_hp_a_p99_ms", mean_p99[system]);
+  }
+  json.Metric("mps_over_lithos_p99", mean_p99[SystemKind::kMps] / mean_p99[SystemKind::kLithos]);
+  json.Metric("tgs_over_lithos_p99", mean_p99[SystemKind::kTgs] / mean_p99[SystemKind::kLithos]);
+  json.WallMetric("sweep_wall_seconds", runner.wall_seconds());
+  json.Write();
+  runner.PrintSummary("fig13_14_15");
   return 0;
 }

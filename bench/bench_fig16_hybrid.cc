@@ -2,6 +2,10 @@
 // (normalised to solo) and aggregate throughput (HP normalised to load + BE
 // normalised to solo training), for every HP inference model, averaged over
 // all six BE training models, under all nine systems.
+//
+// The (HP x BE x system) grid runs through SweepRunner; aggregation walks
+// the collected results in declaration order so the tables are byte-identical
+// for any --jobs.
 #include <map>
 
 #include "bench/bench_util.h"
@@ -9,10 +13,11 @@
 using namespace lithos;
 using namespace lithos::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Figure 16: Hybrid inference/training multitenancy",
               "Fig. 16 — (a) P99 latency vs ideal, (b) aggregate throughput");
 
+  SweepRunner runner(ParseJobsArg(argc, argv));
   SoloCache solos;
   const GpuSpec spec = GpuSpec::A100();
 
@@ -28,14 +33,20 @@ int main() {
   std::printf("running %zu HP x %zu BE x %zu systems...\n", hp_models.size(), be_jobs.size(),
               AllSystems().size());
 
+  std::vector<AppSpec> solo_specs;
   for (const std::string& hp_model : hp_models) {
-    AppSpec hp = MakeHpApp(hp_model, AppRole::kHpLatency, HybridLoadRps(hp_model));
-    const AppResult& solo_hp = solos.Get(hp);
+    solo_specs.push_back(MakeHpApp(hp_model, AppRole::kHpLatency, HybridLoadRps(hp_model)));
+  }
+  for (const TrainingJobSpec& job : be_jobs) {
+    solo_specs.push_back(MakeBeTrainingApp(job.model));
+  }
+  solos.Prefetch(runner, solo_specs);
 
+  std::vector<SweepPoint<StackingResult>> points;
+  for (const std::string& hp_model : hp_models) {
+    const AppSpec hp = MakeHpApp(hp_model, AppRole::kHpLatency, HybridLoadRps(hp_model));
     for (const TrainingJobSpec& job : be_jobs) {
-      AppSpec be = MakeBeTrainingApp(job.model);
-      const AppResult& solo_be = solos.Get(be);
-
+      const AppSpec be = MakeBeTrainingApp(job.model);
       for (SystemKind system : AllSystems()) {
         StackingConfig cfg;
         cfg.system = system;
@@ -43,8 +54,21 @@ int main() {
         cfg.duration = FromSeconds(6);
         AppSpec h = hp, b = be;
         AssignHybridQuotas(system, spec, &h, &b);
-        const StackingResult r = RunStacking(cfg, {h, b});
+        points.push_back({hp_model + "+" + job.model + "/" + SystemName(system),
+                          [cfg, h, b] { return RunStacking(cfg, {h, b}); }});
+      }
+    }
+  }
+  const std::vector<StackingResult> results = runner.Run(points);
 
+  size_t idx = 0;
+  for (const std::string& hp_model : hp_models) {
+    const AppSpec hp = MakeHpApp(hp_model, AppRole::kHpLatency, HybridLoadRps(hp_model));
+    const AppResult& solo_hp = solos.Get(hp);
+    for (const TrainingJobSpec& job : be_jobs) {
+      const AppResult& solo_be = solos.Get(MakeBeTrainingApp(job.model));
+      for (SystemKind system : AllSystems()) {
+        const StackingResult& r = results[idx++];
         Cell& cell = grid[system][hp_model];
         cell.latency_x.Add(r.apps[0].p99_ms / std::max(1e-9, solo_hp.p99_ms));
         cell.hp_thr.Add(r.apps[0].throughput_rps / hp.load_rps);
@@ -115,5 +139,20 @@ int main() {
               mean_lat[SystemKind::kMps] / mean_lat[SystemKind::kLithos]);
   std::printf("  LithOS aggregate / TGS   : %.2fx  [1.35x]\n",
               mean_agg[SystemKind::kLithos] / mean_agg[SystemKind::kTgs]);
+
+  JsonEmitter json("fig16_hybrid");
+  json.SetRun(runner.jobs(), runner.wall_seconds());
+  for (SystemKind system : AllSystems()) {
+    const std::string prefix = SystemName(system) + "_";
+    json.Metric(prefix + "latency_x_ideal", mean_lat[system]);
+    json.Metric(prefix + "aggregate_throughput", mean_agg[system]);
+  }
+  json.Metric("mps_over_lithos_latency",
+              mean_lat[SystemKind::kMps] / mean_lat[SystemKind::kLithos]);
+  json.Metric("lithos_over_tgs_aggregate",
+              mean_agg[SystemKind::kLithos] / mean_agg[SystemKind::kTgs]);
+  json.WallMetric("sweep_wall_seconds", runner.wall_seconds());
+  json.Write();
+  runner.PrintSummary("fig16_hybrid");
   return 0;
 }

@@ -1,6 +1,9 @@
 // Figure 19: breakdown of LithOS features for the hybrid inference/training
 // experiment — MPS, then +TPC Scheduling (atomization off), then +Kernel
 // Atomization (full LithOS) — HP P99 latency normalised to solo.
+//
+// The (HP x BE x variant) grid runs through SweepRunner with declaration-
+// order collection, so the table is byte-identical for any --jobs.
 #include <map>
 
 #include "bench/bench_util.h"
@@ -8,10 +11,11 @@
 using namespace lithos;
 using namespace lithos::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Figure 19: Feature breakdown for inference-training stacking",
               "Fig. 19 — +TPC scheduling: 1.38x ideal; +atomization: 1.19x");
 
+  SweepRunner runner(ParseJobsArg(argc, argv));
   SoloCache solos;
   const GpuSpec spec = GpuSpec::A100();
   const auto hp_models = HybridHpModels();
@@ -31,12 +35,20 @@ int main() {
   std::map<std::string, std::map<std::string, StreamingStats>> lat;  // variant -> model
   std::map<std::string, StreamingStats> be_thr;                      // variant
 
+  std::vector<AppSpec> solo_specs;
   for (const std::string& hp_model : hp_models) {
-    AppSpec hp = MakeHpApp(hp_model, AppRole::kHpLatency, HybridLoadRps(hp_model));
-    const AppResult& solo_hp = solos.Get(hp);
+    solo_specs.push_back(MakeHpApp(hp_model, AppRole::kHpLatency, HybridLoadRps(hp_model)));
+  }
+  for (const TrainingJobSpec& job : be_jobs) {
+    solo_specs.push_back(MakeBeTrainingApp(job.model));
+  }
+  solos.Prefetch(runner, solo_specs);
+
+  std::vector<SweepPoint<StackingResult>> points;
+  for (const std::string& hp_model : hp_models) {
+    const AppSpec hp = MakeHpApp(hp_model, AppRole::kHpLatency, HybridLoadRps(hp_model));
     for (const TrainingJobSpec& job : be_jobs) {
-      AppSpec be = MakeBeTrainingApp(job.model);
-      const AppResult& solo_be = solos.Get(be);
+      const AppSpec be = MakeBeTrainingApp(job.model);
       for (const Variant& v : variants) {
         StackingConfig cfg;
         cfg.system = v.is_mps ? SystemKind::kMps : SystemKind::kLithos;
@@ -45,7 +57,21 @@ int main() {
         cfg.duration = FromSeconds(6);
         AppSpec h = hp, b = be;
         AssignHybridQuotas(cfg.system, spec, &h, &b);
-        const StackingResult r = RunStacking(cfg, {h, b});
+        points.push_back({hp_model + "+" + job.model + "/" + v.name,
+                          [cfg, h, b] { return RunStacking(cfg, {h, b}); }});
+      }
+    }
+  }
+  const std::vector<StackingResult> results = runner.Run(points);
+
+  size_t idx = 0;
+  for (const std::string& hp_model : hp_models) {
+    const AppResult& solo_hp =
+        solos.Get(MakeHpApp(hp_model, AppRole::kHpLatency, HybridLoadRps(hp_model)));
+    for (const TrainingJobSpec& job : be_jobs) {
+      const AppResult& solo_be = solos.Get(MakeBeTrainingApp(job.model));
+      for (const Variant& v : variants) {
+        const StackingResult& r = results[idx++];
         lat[v.name][hp_model].Add(r.apps[0].p99_ms / std::max(1e-9, solo_hp.p99_ms));
         be_thr[v.name].Add(r.apps[1].iterations_per_s /
                            std::max(1e-9, solo_be.iterations_per_s));
@@ -60,6 +86,8 @@ int main() {
   header.push_back("mean");
   header.push_back("BE thr");
   Table table(header);
+  JsonEmitter json("fig19_ablation");
+  json.SetRun(runner.jobs(), runner.wall_seconds());
   for (const Variant& v : variants) {
     std::vector<std::string> row = {v.name};
     double total = 0;
@@ -71,9 +99,14 @@ int main() {
     row.push_back(Table::Num(total / hp_models.size(), 2));
     row.push_back(Table::Num(be_thr[v.name].mean(), 2));
     table.AddRow(row);
+    json.Metric(v.name + "_latency_x_ideal", total / hp_models.size());
+    json.Metric(v.name + "_be_throughput", be_thr[v.name].mean());
   }
   table.Print();
   std::printf("\n[paper: TPC scheduling brings tails to 1.38x ideal; atomization to 1.19x\n");
   std::printf(" (up to 1.55x better), at ~10%% BE throughput cost]\n");
+  json.WallMetric("sweep_wall_seconds", runner.wall_seconds());
+  json.Write();
+  runner.PrintSummary("fig19_ablation");
   return 0;
 }

@@ -73,6 +73,7 @@ int main() {
       runner.Start();
       sim.RunUntil(cfg.warmup + cfg.duration);
       runner.Stop();
+      rec.Finalize();
       row.push_back(Table::Num(rec.latency_ms().P95(), 2));
     }
     a.AddRow(row);
@@ -118,6 +119,7 @@ int main() {
       runner.Start();
       sim.RunUntil(cfg.warmup + cfg.duration);
       runner.Stop();
+      rec.Finalize();
       row.push_back(Table::Num(rec.latency_ms().P95(), 2));
     }
     bt.AddRow(row);

@@ -2,17 +2,21 @@
 // tails of the online predictor in inference-inference and inference-training
 // stacking environments. The paper reports HP misprediction rates of 0.9%
 // and 0.38% with P99 errors of 49us and 31us (mispredictions = |error|>50us).
+//
+// Both environments run as SweepRunner points; the table renders from the
+// declaration-ordered results, byte-identical for any --jobs.
 #include "bench/bench_util.h"
 
 using namespace lithos;
 using namespace lithos::bench;
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Section 7.4: Latency predictor accuracy",
               "HP misprediction 0.9% / 0.38%; P99 error 49us / 31us");
 
-  Table table({"environment", "predictions", "misprediction rate (%)", "P99 |error| (us)"});
+  SweepRunner runner(ParseJobsArg(argc, argv));
 
+  std::vector<SweepPoint<StackingResult>> points;
   {
     // Inference-inference: ResNet HP A + BERT HP B + GPT-J BE under LithOS.
     StackingConfig cfg;
@@ -23,10 +27,8 @@ int main() {
     AppSpec b = MakeHpApp("BERT", AppRole::kHpThroughput);
     AppSpec c = MakeBeInferenceApp("GPT-J");
     AssignInferenceOnlyQuotas(SystemKind::kLithos, cfg.spec, &a, &b, &c);
-    const StackingResult r = RunStacking(cfg, {a, b, c});
-    table.AddRow({"inference-inference", std::to_string(r.predictor_predictions),
-                  Table::Num(100 * r.predictor_mispred_rate, 2),
-                  Table::Num(r.predictor_err_p99_us, 1)});
+    points.push_back(
+        {"inference-inference", [cfg, a, b, c] { return RunStacking(cfg, {a, b, c}); }});
   }
   {
     // Inference-training: BERT HP + ResNet training BE under LithOS.
@@ -37,13 +39,27 @@ int main() {
     AppSpec hp = MakeHpApp("BERT", AppRole::kHpLatency, HybridLoadRps("BERT"));
     AppSpec be = MakeBeTrainingApp("ResNet");
     AssignHybridQuotas(SystemKind::kLithos, cfg.spec, &hp, &be);
-    const StackingResult r = RunStacking(cfg, {hp, be});
-    table.AddRow({"inference-training", std::to_string(r.predictor_predictions),
+    points.push_back(
+        {"inference-training", [cfg, hp, be] { return RunStacking(cfg, {hp, be}); }});
+  }
+  const std::vector<StackingResult> results = runner.Run(points);
+
+  Table table({"environment", "predictions", "misprediction rate (%)", "P99 |error| (us)"});
+  JsonEmitter json("predictor_accuracy");
+  json.SetRun(runner.jobs(), runner.wall_seconds());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const StackingResult& r = results[i];
+    table.AddRow({points[i].name, std::to_string(r.predictor_predictions),
                   Table::Num(100 * r.predictor_mispred_rate, 2),
                   Table::Num(r.predictor_err_p99_us, 1)});
+    json.Metric(points[i].name + "_mispred_rate", r.predictor_mispred_rate);
+    json.Metric(points[i].name + "_err_p99_us", r.predictor_err_p99_us);
   }
   table.Print();
   std::printf("\n[paper: HP rates 0.9%% / 0.38%%, BE rates 14%% / 11%%; P99 49us / 31us.\n");
   std::printf(" Our accounting pools HP and BE predictions per environment.]\n");
+  json.WallMetric("sweep_wall_seconds", runner.wall_seconds());
+  json.Write();
+  runner.PrintSummary("predictor_accuracy");
   return 0;
 }

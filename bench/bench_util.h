@@ -4,9 +4,11 @@
 #ifndef LITHOS_BENCH_BENCH_UTIL_H_
 #define LITHOS_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <utility>
@@ -14,6 +16,7 @@
 
 #include "src/common/table.h"
 #include "src/experiments/harness.h"
+#include "src/experiments/sweep.h"
 
 namespace lithos::bench {
 
@@ -93,12 +96,13 @@ inline AppSpec MakeBeTrainingApp(const std::string& model) {
 // --- Solo baselines ("ideal") ------------------------------------------------------
 
 // Per-process cache of solo runs used by the figures' normalisations.
+// Not thread-safe: populate it up front with Prefetch (which parallelises
+// the solo runs through the sweep runner) and only call Get from the serial
+// aggregation phase — never from inside a sweep point.
 class SoloCache {
  public:
   const AppResult& Get(const AppSpec& app) {
-    const std::string key =
-        app.model + "/" + std::to_string(static_cast<int>(app.role)) + "/" +
-        std::to_string(app.load_rps) + "/" + std::to_string(app.batch_size);
+    const std::string key = Key(app);
     auto it = cache_.find(key);
     if (it == cache_.end()) {
       it = cache_.emplace(key, RunSolo(app, GpuSpec::A100(), kDuration)).first;
@@ -106,19 +110,60 @@ class SoloCache {
     return it->second;
   }
 
+  // Runs the solo baselines for every distinct uncached spec in `apps`
+  // across the runner's pool, inserting results in declaration order.
+  void Prefetch(SweepRunner& runner, const std::vector<AppSpec>& apps) {
+    std::vector<std::string> keys;
+    std::vector<SweepPoint<AppResult>> points;
+    for (const AppSpec& app : apps) {
+      const std::string key = Key(app);
+      if (cache_.count(key) > 0 ||
+          std::find(keys.begin(), keys.end(), key) != keys.end()) {
+        continue;
+      }
+      keys.push_back(key);
+      points.push_back({"solo/" + key, [app] { return RunSolo(app, GpuSpec::A100(), kDuration); }});
+    }
+    std::vector<AppResult> results = runner.Run(points);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      cache_.emplace(keys[i], std::move(results[i]));
+    }
+  }
+
  private:
+  static std::string Key(const AppSpec& app) {
+    return app.model + "/" + std::to_string(static_cast<int>(app.role)) + "/" +
+           std::to_string(app.load_rps) + "/" + std::to_string(app.batch_size);
+  }
+
   std::map<std::string, AppResult> cache_;
 };
 
 // --- Machine-readable output --------------------------------------------------
 
 // Flat key->number emitter for the perf trajectory: each bench collects its
-// headline metrics and writes BENCH_<name>.json into the working directory
-// (or $LITHOS_BENCH_JSON_DIR when set), so CI can diff runs across commits
+// headline metrics and writes bench/out/BENCH_<name>.json (override the
+// directory with $LITHOS_BENCH_JSON_DIR), so CI can diff runs across commits
 // instead of scraping the human-readable tables.
+//
+// Two metric classes, compared differently by check_bench_regression.py:
+//   Metric()     — deterministic simulation outputs; byte-identical for any
+//                  worker count and gated against baselines unconditionally.
+//   WallMetric() — wall-clock-dependent numbers (events/sec, bench wall
+//                  time); gated only when the run's recorded `jobs` matches
+//                  the baseline's, so parallel runs never fail serial-era
+//                  baselines.
+// All status notices go to stderr: stdout is the byte-comparable surface.
 class JsonEmitter {
  public:
   explicit JsonEmitter(std::string name) : name_(std::move(name)) {}
+
+  // Records the sweep worker count (and the runner's wall clock) in the
+  // emitted JSON. Benches without a sweep default to jobs = 1.
+  void SetRun(int jobs, double wall_seconds) {
+    jobs_ = jobs;
+    wall_seconds_ = wall_seconds;
+  }
 
   void Metric(const std::string& key, double value) {
     // Non-finite values would break downstream JSON parsers; record zero and
@@ -126,32 +171,49 @@ class JsonEmitter {
     metrics_.emplace_back(key, std::isfinite(value) ? value : 0.0);
   }
 
+  void WallMetric(const std::string& key, double value) {
+    wall_metrics_.emplace_back(key, std::isfinite(value) ? value : 0.0);
+  }
+
   // Writes the file; returns false (after a notice) when the path is not
   // writable so benches never fail on a read-only checkout.
   bool Write() const {
-    const char* dir = std::getenv("LITHOS_BENCH_JSON_DIR");
-    const std::string path =
-        (dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : std::string()) +
-        "BENCH_" + name_ + ".json";
+    const char* env_dir = std::getenv("LITHOS_BENCH_JSON_DIR");
+    const std::string dir =
+        env_dir != nullptr && env_dir[0] != '\0' ? std::string(env_dir) : "bench/out";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort; fopen reports
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
-      std::printf("note: could not write %s\n", path.c_str());
+      std::fprintf(stderr, "note: could not write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name_.c_str());
-    for (size_t i = 0; i < metrics_.size(); ++i) {
-      std::fprintf(f, "%s\n    \"%s\": %.10g", i > 0 ? "," : "", metrics_[i].first.c_str(),
-                   metrics_[i].second);
-    }
-    std::fprintf(f, "\n  }\n}\n");
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"jobs\": %d,\n  \"wall_seconds\": %.3f,",
+                 name_.c_str(), jobs_, wall_seconds_);
+    auto emit_section = [f](const char* section,
+                            const std::vector<std::pair<std::string, double>>& entries,
+                            const char* trailing) {
+      std::fprintf(f, "\n  \"%s\": {", section);
+      for (size_t i = 0; i < entries.size(); ++i) {
+        std::fprintf(f, "%s\n    \"%s\": %.10g", i > 0 ? "," : "", entries[i].first.c_str(),
+                     entries[i].second);
+      }
+      std::fprintf(f, "\n  }%s", trailing);
+    };
+    emit_section("metrics", metrics_, ",");
+    emit_section("wall_metrics", wall_metrics_, "\n}\n");
     std::fclose(f);
-    std::printf("wrote %s\n", path.c_str());
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
     return true;
   }
 
  private:
   std::string name_;
+  int jobs_ = 1;
+  double wall_seconds_ = 0;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, double>> wall_metrics_;
 };
 
 inline void PrintHeader(const std::string& title, const std::string& paper_ref) {

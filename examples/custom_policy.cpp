@@ -92,6 +92,7 @@ RunOutcome Run(Backend* backend, Driver* driver, Simulator* sim) {
 
   sim->RunUntil(FromSeconds(6));
   trainer.Stop();
+  rec.Finalize();
   return {rec.latency_ms().P99(), trainer.FractionalIterations() / 6.0};
 }
 

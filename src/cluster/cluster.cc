@@ -304,6 +304,7 @@ ClusterResult ClusterDispatcher::Collect(DurationNs measured) {
   result.policy = config_.policy;
   result.num_nodes = config_.num_nodes;
   result.mean_ms = latency_ms_.Mean();
+  latency_ms_.Finalize();
   result.p50_ms = latency_ms_.Percentile(50);
   result.p99_ms = latency_ms_.P99();
   const double secs = ToSeconds(measured);

@@ -43,24 +43,42 @@ class StreamingStats {
 };
 
 // Exact percentile digest. Experiments record at most a few million samples,
-// so keeping the raw values and sorting lazily is both simplest and exact —
+// so keeping the raw values and sorting once is both simplest and exact —
 // important when reproducing P99 tail-latency figures.
+//
+// Concurrency contract: the digest is written by exactly one owner (the
+// sweep point that accumulates into it) and its readers are genuinely const.
+// The sort happens in the explicit non-const Finalize(), never behind a
+// const reader — so a digest handed out by const& after finalization can be
+// read from any thread without a data race.
 class PercentileDigest {
  public:
   void Add(double x) {
     samples_.push_back(x);
-    sorted_ = false;
+    finalized_ = false;
   }
 
   size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
-  // q in [0, 100]. Uses nearest-rank on the sorted samples.
+  // Sorts the samples. Must be called by the digest's owner before any
+  // percentile reader; Add() after Finalize() un-finalizes. Idempotent.
+  void Finalize() {
+    if (!finalized_) {
+      std::sort(samples_.begin(), samples_.end());
+      finalized_ = true;
+    }
+  }
+
+  bool finalized() const { return finalized_; }
+
+  // q in [0, 100]. Uses nearest-rank on the sorted samples. Requires
+  // Finalize() first: reading an unfinalized digest is a checked error.
   double Percentile(double q) const {
     if (samples_.empty()) {
       return 0.0;
     }
-    EnsureSorted();
+    LITHOS_CHECK(finalized_);
     const double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
     const size_t lo = static_cast<size_t>(rank);
     const size_t hi = std::min(lo + 1, samples_.size() - 1);
@@ -100,21 +118,14 @@ class PercentileDigest {
 
   void Clear() {
     samples_.clear();
-    sorted_ = false;
+    finalized_ = false;
   }
 
   const std::vector<double>& samples() const { return samples_; }
 
  private:
-  void EnsureSorted() const {
-    if (!sorted_) {
-      std::sort(samples_.begin(), samples_.end());
-      sorted_ = true;
-    }
-  }
-
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  std::vector<double> samples_;
+  bool finalized_ = false;
 };
 
 // Result of a least-squares fit of y = slope * x + intercept.

@@ -101,6 +101,9 @@ class LatencyPredictor {
   // Accuracy accounting: mispredictions are absolute errors > 50us (§7.4).
   const PredictionStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PredictionStats{}; }
+  // Sorts the error digest; call once recording is done, before reading
+  // error percentiles through stats().
+  void FinalizeStats() { stats_.abs_error_us.Finalize(); }
 
   static constexpr double kMispredictionThresholdUs = 50.0;
 

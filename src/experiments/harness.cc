@@ -214,6 +214,7 @@ FleetStackingResult RunStackingFleet(const StackingConfig& config,
     capacity += result.engine.elapsed_seconds * config.spec.TotalTpcs();
 
     if (auto* lithos = dynamic_cast<LithosBackend*>(nodes[n]->backend())) {
+      lithos->predictor().FinalizeStats();
       const PredictionStats& pstats = lithos->predictor().stats();
       result.predictor_predictions = pstats.predictions;
       result.predictor_mispred_rate = pstats.MispredictionRate();
@@ -225,12 +226,14 @@ FleetStackingResult RunStackingFleet(const StackingConfig& config,
     for (size_t i = n; i < apps.size(); i += num_nodes) {
       const AppSpec& app = apps[i];
       if (app.IsOpenLoop()) {
+        serving[i].recorder->Finalize();
         result.apps.push_back(CollectOpenLoop(app, *serving[i].recorder, horizon));
       } else {
         AppResult r;
         r.model = app.model;
         r.role = app.role;
         r.iterations_per_s = runners[i]->FractionalIterations() / ToSeconds(config.duration);
+        runners[i]->Finalize();
         r.iteration_p50_ms = runners[i]->iteration_ms().Percentile(50);
         result.apps.push_back(r);
       }

@@ -1,0 +1,134 @@
+#include "src/experiments/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <thread>
+
+namespace lithos {
+
+int ResolveSweepJobs(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("LITHOS_JOBS"); env != nullptr && env[0] != '\0') {
+    const int jobs = std::atoi(env);
+    if (jobs > 0) {
+      return jobs;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+
+int ParseJobsValue(const char* flag, const char* value) {
+  const int jobs = std::atoi(value);
+  if (jobs > 0) {
+    return jobs;
+  }
+  std::fprintf(stderr,
+               "warning: ignoring '%s %s' (expected a positive integer); "
+               "falling back to $LITHOS_JOBS or hardware concurrency\n",
+               flag, value);
+  return 0;
+}
+
+}  // namespace
+
+int ParseJobsArg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      return ParseJobsValue("--jobs=", arg + 7);
+    }
+    if (std::strcmp(arg, "--jobs") == 0 || std::strcmp(arg, "-j") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "warning: '%s' given without a value; falling back to "
+                             "$LITHOS_JOBS or hardware concurrency\n",
+                     arg);
+        return 0;
+      }
+      return ParseJobsValue(arg, argv[i + 1]);
+    }
+  }
+  return 0;
+}
+
+void SweepRunner::RunIndexed(size_t n, const std::function<void(size_t)>& body,
+                             const std::function<std::string(size_t)>& name_of) {
+  const auto start = std::chrono::steady_clock::now();
+  points_run_ += n;
+
+  // Every point carries a claim flag; worker w drains its own stripe
+  // (i ≡ w mod workers) and then sweeps the other stripes, stealing any
+  // point nobody has claimed yet. Results land in per-index slots, so
+  // completion order never affects collection order. With one worker the
+  // single stripe covers [0, n) in declaration order — the serial loop —
+  // and runs inline on the caller with no threads spawned, so exception
+  // semantics (run everything, rethrow the first by index) are identical
+  // for every worker count.
+  const size_t workers = std::max<size_t>(1, std::min(static_cast<size_t>(jobs_), n));
+  std::unique_ptr<std::atomic<bool>[]> claimed(new std::atomic<bool>[n]);
+  for (size_t i = 0; i < n; ++i) {
+    claimed[i].store(false, std::memory_order_relaxed);
+  }
+  std::vector<std::exception_ptr> errors(n);
+
+  auto worker = [&](size_t w) {
+    for (size_t pass = 0; pass < workers; ++pass) {
+      const size_t stripe = (w + pass) % workers;
+      for (size_t i = stripe; i < n; i += workers) {
+        bool expected = false;
+        if (!claimed[i].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+          continue;
+        }
+        try {
+          body(i);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "[sweep] point %zu%s%s%s failed: %s\n", i,
+                       name_of ? " '" : "", name_of ? name_of(i).c_str() : "",
+                       name_of ? "'" : "", e.what());
+          errors[i] = std::current_exception();
+        } catch (...) {
+          std::fprintf(stderr, "[sweep] point %zu%s%s%s failed with a non-std exception\n", i,
+                       name_of ? " '" : "", name_of ? name_of(i).c_str() : "",
+                       name_of ? "'" : "");
+          errors[i] = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (size_t w = 1; w < workers; ++w) {
+    pool.emplace_back(worker, w);
+  }
+  worker(0);
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) {
+      wall_seconds_ +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      std::rethrow_exception(e);
+    }
+  }
+
+  wall_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+void SweepRunner::PrintSummary(const std::string& label) const {
+  std::fprintf(stderr, "[sweep] %s: %zu points on %d worker%s in %.2fs\n", label.c_str(),
+               points_run_, jobs_, jobs_ == 1 ? "" : "s", wall_seconds_);
+}
+
+}  // namespace lithos

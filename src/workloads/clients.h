@@ -47,6 +47,10 @@ class RequestRecorder {
   uint64_t completed() const { return completed_; }
   const PercentileDigest& latency_ms() const { return latency_ms_; }
 
+  // Sorts the latency digest; call once recording is done, before reading
+  // percentiles through the const accessor.
+  void Finalize() { latency_ms_.Finalize(); }
+
   // Completed requests per second over [warmup_end, horizon].
   double Throughput(TimeNs horizon) const {
     const double secs = ToSeconds(horizon - warmup_end_);
@@ -171,6 +175,9 @@ class ClosedLoopRunner {
 
   uint64_t iterations() const { return iterations_; }
   const PercentileDigest& iteration_ms() const { return iteration_ms_; }
+
+  // Sorts the iteration digest; call after Stop(), before percentile reads.
+  void Finalize() { iteration_ms_.Finalize(); }
 
   // Iterations including fractional progress through the current one —
   // measured from the stream's remaining queue depth. Short measurement

@@ -12,6 +12,7 @@ DurationNs ModelProfile::KernelLatencyPercentileNs(const GpuSpec& spec, double p
   for (const KernelDesc& k : ops) {
     digest.Add(static_cast<double>(k.LatencyNs(spec, spec.TotalTpcs(), spec.max_mhz)));
   }
+  digest.Finalize();
   return static_cast<DurationNs>(digest.Percentile(p));
 }
 

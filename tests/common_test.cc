@@ -124,6 +124,7 @@ TEST(PercentileDigestTest, ExactPercentiles) {
   for (int i = 1; i <= 100; ++i) {
     d.Add(i);
   }
+  d.Finalize();
   EXPECT_NEAR(d.Percentile(0), 1.0, 1e-9);
   EXPECT_NEAR(d.Percentile(100), 100.0, 1e-9);
   EXPECT_NEAR(d.Median(), 50.5, 1e-9);
@@ -140,12 +141,34 @@ TEST(PercentileDigestTest, FractionAtOrBelow) {
   EXPECT_DOUBLE_EQ(d.FractionAtOrBelow(0.0), 0.0);
 }
 
-TEST(PercentileDigestTest, AddAfterQueryResorts) {
+TEST(PercentileDigestTest, AddAfterFinalizeResorts) {
   PercentileDigest d;
   d.Add(10);
+  d.Finalize();
   EXPECT_DOUBLE_EQ(d.Max(), 10);
-  d.Add(20);
+  d.Add(20);  // un-finalizes
+  EXPECT_FALSE(d.finalized());
+  d.Finalize();
   EXPECT_DOUBLE_EQ(d.Max(), 20);
+}
+
+TEST(PercentileDigestTest, FinalizeIsIdempotentAndClearResets) {
+  PercentileDigest d;
+  d.Add(3);
+  d.Add(1);
+  d.Finalize();
+  d.Finalize();
+  EXPECT_DOUBLE_EQ(d.Percentile(0), 1.0);
+  d.Clear();
+  EXPECT_FALSE(d.finalized());
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(PercentileDigestDeathTest, ReadBeforeFinalizeAborts) {
+  PercentileDigest d;
+  d.Add(1);
+  d.Add(2);
+  EXPECT_DEATH(d.Percentile(50), "finalized_");
 }
 
 TEST(FitLineTest, PerfectLine) {
@@ -207,6 +230,7 @@ TEST_P(PercentileMonotoneTest, MonotoneInQ) {
   for (int i = 0; i < 500; ++i) {
     d.Add(rng.LogNormal(0, 2));
   }
+  d.Finalize();
   double prev = -1;
   for (double q = 0; q <= 100; q += 2.5) {
     const double v = d.Percentile(q);

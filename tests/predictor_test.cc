@@ -144,6 +144,7 @@ TEST_F(PredictorTest, MispredictionAccounting) {
   // No prediction supplied: not counted at all.
   predictor_.Record(key, Cond(54), FromMicros(100));
 
+  predictor_.FinalizeStats();
   const PredictionStats& stats = predictor_.stats();
   EXPECT_EQ(stats.predictions, 2u);
   EXPECT_EQ(stats.mispredictions, 1u);

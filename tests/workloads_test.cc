@@ -221,6 +221,7 @@ TEST_F(ServingTest, BatchingServerHonoursQueueDelay) {
   server.Submit();  // a single request must not wait for a full batch
   sim_.RunUntil(FromSeconds(1));
   EXPECT_EQ(rec.completed(), 1u);
+  rec.Finalize();
   // Waited the 5ms delay window plus service time, not forever.
   EXPECT_LT(rec.latency_ms().Max(), 60.0);
   EXPECT_GE(rec.latency_ms().Max(), 5.0);
@@ -237,6 +238,7 @@ TEST_F(ServingTest, LlmServerServesTraceShapes) {
   }
   sim_.RunUntil(FromSeconds(20));
   EXPECT_EQ(rec.completed(), 3u);
+  rec.Finalize();
   EXPECT_GT(rec.latency_ms().Median(), 100.0);  // sub-second to seconds
 }
 
@@ -246,6 +248,7 @@ TEST_F(ServingTest, ClosedLoopRunnerIteratesAndCounts) {
   sim_.RunUntil(FromSeconds(1));
   // DLRM iteration = 74ms: about 13 iterations in a second.
   EXPECT_NEAR(static_cast<double>(runner.iterations()), 13.0, 2.0);
+  runner.Finalize();
   EXPECT_NEAR(runner.iteration_ms().Median(), 74.0, 8.0);
   EXPECT_GT(runner.FractionalIterations(), runner.iterations() - 1.0);
   runner.Stop();
