@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in Markdown docs.
+
+Scans README.md and every .md file under docs/ for Markdown links and
+verifies that each relative target exists in the repository. External
+links (http/https/mailto) and pure in-page anchors (#section) are skipped;
+a #fragment suffix on a file link is stripped before the existence check.
+
+Usage: python3 scripts/check_doc_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+# Inline links [text](target) — skips images' leading ! by matching the
+# bracket pair itself, which is fine since image targets need to exist too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def doc_files(root):
+    yield os.path.join(root, "README.md")
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for dirpath, _, names in os.walk(docs):
+            for name in sorted(names):
+                if name.endswith(".md"):
+                    yield os.path.join(dirpath, name)
+
+
+def check_file(root, path):
+    broken = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, match.group(1), resolved))
+    return broken
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = 0
+    checked = 0
+    for path in doc_files(root):
+        if not os.path.exists(path):
+            print(f"missing doc file: {path}")
+            failures += 1
+            continue
+        checked += 1
+        for lineno, target, resolved in check_file(root, path):
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: dead link '{target}' -> {resolved}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} dead link(s) across {checked} file(s)")
+        return 1
+    print(f"all relative links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -99,8 +99,15 @@ FleetSnapshot FleetController::BuildSnapshot() const {
 bool FleetController::ApplyLifecycle(int desired) {
   bool changed = false;
   const int total = static_cast<int>(states_.size());
+  int activated = 0;
   for (int n = 0; n < total; ++n) {
-    if (n < desired) {
+    // Crashed nodes are never part of the active set; a node the fault
+    // layer failed while Active transitions to Draining here (its queued
+    // work was already written off — the state just burns out the in-flight
+    // kernels before CompleteDrains gates the host dark).
+    const bool wanted = activated < desired && !dispatcher_->NodeFailed(n);
+    if (wanted) {
+      ++activated;
       if (states_[n] == NodePower::kPoweredOff) {
         dispatcher_->PowerGateNode(n, false);
         ++power_ons_;
@@ -131,10 +138,21 @@ bool FleetController::HasStrandedReplicas() const {
   return false;
 }
 
-void FleetController::Rebalance(int desired, double demand_ms_per_s) {
+void FleetController::Rebalance(double demand_ms_per_s) {
   const std::vector<FleetModel>& models = dispatcher_->models();
-  std::vector<int> active(desired);
-  std::iota(active.begin(), active.end(), 0);
+  std::vector<int> active;
+  for (size_t n = 0; n < states_.size(); ++n) {
+    if (states_[n] == NodePower::kActive) {
+      active.push_back(static_cast<int>(n));
+    }
+  }
+  if (active.empty()) {
+    return;  // every node crashed or draining; nothing to pack onto
+  }
+  // At region scale, pack over the zone-interleaved order so consolidation
+  // fills one node per failure domain before reusing a zone — the same
+  // cross-zone anti-affinity the zoned placer starts with.
+  const std::vector<int> pack_order = ZoneInterleave(active, dispatcher_->zone_topology());
 
   // Re-pack at the demanded rate: the same first-fit-decreasing packer the
   // affinity placer uses at construction, scaled from the mean-rate packing
@@ -142,7 +160,7 @@ void FleetController::Rebalance(int desired, double demand_ms_per_s) {
   const double scale =
       mean_offered_ms_per_s_ > 0 ? demand_ms_per_s / mean_offered_ms_per_s_ : 1.0;
   const std::vector<std::vector<int>> target = PackModels(
-      models, active, dispatcher_->config().aggregate_rps * scale, config_.target_util);
+      models, pack_order, dispatcher_->config().aggregate_rps * scale, config_.target_util);
 
   Placer& placer = dispatcher_->placer();
   int budget = config_.max_migrations_per_period;
@@ -155,8 +173,9 @@ void FleetController::Rebalance(int desired, double demand_ms_per_s) {
     std::set_difference(target[m].begin(), target[m].end(), current.begin(), current.end(),
                         std::back_inserter(added));
 
-    // Forced moves first: replicas stranded off the active prefix must leave
-    // for the drain to complete, cap or no cap.
+    // Forced moves first: replicas stranded off the active set — on
+    // draining or crashed nodes — must leave for the drain (or recovery)
+    // to complete, cap or no cap.
     std::stable_partition(removed.begin(), removed.end(), [this](int node) {
       return states_[node] != NodePower::kActive;
     });
@@ -168,7 +187,13 @@ void FleetController::Rebalance(int desired, double demand_ms_per_s) {
       if (!forced && budget <= 0) {
         break;  // partitioned: everything after is unforced too
       }
-      if (dispatcher_->MigrateModel(model, removed[i], added[j]) && !forced) {
+      // A crashed source cannot run its checkpoint half: the replica is
+      // re-placed through the restore-only recovery path instead of a full
+      // live migration.
+      const bool moved = dispatcher_->NodeFailed(removed[i])
+                             ? dispatcher_->RecoverModelReplica(model, removed[i], added[j])
+                             : dispatcher_->MigrateModel(model, removed[i], added[j]);
+      if (moved && !forced) {
         --budget;
       }
       ++i;
@@ -179,7 +204,10 @@ void FleetController::Rebalance(int desired, double demand_ms_per_s) {
       if (!forced && budget <= 0) {
         continue;
       }
-      if (dispatcher_->RemoveModelReplica(model, removed[i]) && !forced) {
+      const bool dropped = dispatcher_->NodeFailed(removed[i])
+                               ? dispatcher_->DropLostReplica(model, removed[i])
+                               : dispatcher_->RemoveModelReplica(model, removed[i]);
+      if (dropped && !forced) {
         --budget;
       }
     }
@@ -242,7 +270,7 @@ void FleetController::Tick(TimeNs until) {
     // `demand` buys nodes (capacity), but letting it inflate the packing
     // rate makes every bin overflow and first-fit concentrates the overflow
     // on whichever node just joined empty — the opposite of re-spreading.
-    Rebalance(desired, std::min(demand, snap.peak_ms_per_s));
+    Rebalance(std::min(demand, snap.peak_ms_per_s));
   }
   CompleteDrains();
 

@@ -18,12 +18,25 @@
 //
 // Each control period the configured ScalingPolicy converts demand telemetry
 // into a powered-on node target; the controller then drains or wakes nodes
-// so the active set is the pool prefix [0, target), and — under the
+// so the active set is the first `target` *healthy* nodes in index order
+// (with no failures this is the pool prefix [0, target)), and — under the
 // model-affinity placement policy — re-packs the fleet's replica sets over
-// the active prefix (first-fit decreasing at the estimated demand), issuing
-// the migrations that diff requires, capped per period. Rebalancing only
-// runs when the active set changes or replicas are stranded on non-active
-// nodes, so a steady pool never churns.
+// the active set (first-fit decreasing at the estimated demand; at region
+// scale over the zone-interleaved node order, keeping hot models spread
+// across failure domains), issuing the migrations that diff requires,
+// capped per period. Rebalancing only runs when the active set changes or
+// replicas are stranded on non-active nodes, so a steady pool never churns.
+//
+// The controller also owns failure recovery (the cluster-OS framing: the
+// control plane, not the application, handles faults). A node crashed by
+// src/fault/ drops out of the placement rotation immediately; at the next
+// tick the controller drains it from its books and the rebalance diff
+// re-places every replica stranded on it onto survivors through
+// ClusterDispatcher::RecoverModelReplica — the restore-only half of the
+// checkpoint/restore migration path, since a dead node cannot execute its
+// checkpoint half. These recovery moves are forced (never budget-capped).
+// A repaired node rejoins exactly like a trough-gated one: powered off and
+// out of rotation until demand wants it back.
 #ifndef LITHOS_AUTOSCALE_FLEET_CONTROLLER_H_
 #define LITHOS_AUTOSCALE_FLEET_CONTROLLER_H_
 
@@ -111,12 +124,15 @@ class FleetController {
  private:
   void Tick(TimeNs until);
   FleetSnapshot BuildSnapshot() const;
-  // Drives the lifecycle toward the active prefix [0, desired); returns
-  // whether any node changed state.
+  // Drives the lifecycle toward an active set of the first `desired`
+  // healthy nodes in index order (the pool prefix when nothing is failed);
+  // crashed nodes are forced out of the active set. Returns whether any
+  // node changed state.
   bool ApplyLifecycle(int desired);
-  // Re-packs replica sets over the active prefix and issues the migrations
-  // the diff requires.
-  void Rebalance(int desired, double demand_ms_per_s);
+  // Re-packs replica sets over the current active set and issues the
+  // migrations the diff requires; replicas on crashed nodes take the
+  // restore-only recovery path.
+  void Rebalance(double demand_ms_per_s);
   void CompleteDrains();
   bool HasStrandedReplicas() const;
   void IntegratePoweredOn();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "src/common/check.h"
 #include "src/gpu/kernel.h"
@@ -27,15 +28,30 @@ ClusterDispatcher::ClusterDispatcher(Simulator* sim, const ClusterConfig& config
     : sim_(sim), config_(config), fleet_(config.seed) {
   LITHOS_CHECK_GT(config_.num_nodes, 0);
   LITHOS_CHECK_GT(config_.aggregate_rps, 0.0);
+  LITHOS_CHECK_GE(config_.num_zones, 1);
+  LITHOS_CHECK_EQ(config_.num_nodes % config_.num_zones, 0);  // equal-sized zones
 
   for (int n = 0; n < config_.num_nodes; ++n) {
     nodes_.push_back(
         std::make_unique<GpuNode>(sim_, n, config_.spec, config_.system, config_.lithos));
   }
 
+  zone_topo_.num_zones = config_.num_zones;
+  zone_topo_.zone_size = config_.num_nodes / config_.num_zones;
+  zone_outstanding_ms_.assign(config_.num_zones, 0.0);
+
   const std::vector<FleetModel>& models = fleet_.models();
-  placer_ = MakePlacer(config_.policy, models, config_.num_nodes, config_.aggregate_rps,
-                       config_.affinity_target_util);
+  if (config_.num_zones > 1 && config_.policy == PlacementPolicy::kModelAffinity) {
+    // Region scale: hierarchical zone-first dispatch over a cross-zone
+    // anti-affine packing.
+    placer_ = MakeZonedAffinityPlacer(models, zone_topo_, config_.num_nodes,
+                                      config_.aggregate_rps, config_.affinity_target_util,
+                                      &zone_outstanding_ms_);
+  } else {
+    placer_ = MakePlacer(config_.policy, models, config_.num_nodes, config_.aggregate_rps,
+                         config_.affinity_target_util);
+    placer_->SetZoneTopology(zone_topo_);
+  }
 
   model_share_ = PopularityShares(models);
   for (size_t i = 0; i < models.size(); ++i) {
@@ -164,6 +180,17 @@ int ClusterDispatcher::Dispatch(int model_index) {
   if (measured) {
     ++state.dispatched_measured;
   }
+
+  // The placer only routes to a failed node when every alternative is gone
+  // (its last-resort fallback). A dead host cannot execute anything: the
+  // request fails fast at admission instead of launching kernels on it.
+  if (state.failed) {
+    ++failed_;
+    if (measured) {
+      ++state.failed_measured;
+    }
+    return node;
+  }
   state.models_seen.insert(model_index);
 
   Stream* stream = StreamFor(node, model_index);
@@ -186,19 +213,40 @@ int ClusterDispatcher::Dispatch(int model_index) {
   }
   driver->CuLaunchKernel(stream, &request_kernels_[model_index]);
 
-  outstanding_ms_[node] += cost_ms;
+  AddOutstanding(node, cost_ms);
   const TimeNs arrival = sim_->Now();
   const double request_ms = model.cost_ms;
-  driver->CuStreamAddCallback(stream, [this, node, arrival, cost_ms, request_ms] {
-    outstanding_ms_[node] = std::max(0.0, outstanding_ms_[node] - cost_ms);
+  const uint64_t epoch = state.epoch;
+  driver->CuStreamAddCallback(stream, [this, node, arrival, cost_ms, request_ms, epoch] {
+    NodeState& state = node_state_[node];
+    if (state.epoch != epoch) {
+      // The node crashed after this request was dispatched: the result is
+      // lost. Outstanding work was already written off by FailNode. Unlike
+      // latency samples (gated on arrival time), a loss is an operational
+      // event attributed to the phase in which the node died — queued work
+      // admitted before the window still fails *now*.
+      ++failed_;
+      if (sim_->Now() >= warmup_end_) {
+        ++state.failed_measured;
+      }
+      return;
+    }
+    AddOutstanding(node, -cost_ms);
     ++completed_;
     if (arrival >= warmup_end_) {
-      ++node_state_[node].completed_measured;
+      ++state.completed_measured;
       latency_ms_.Add(ToMillis(sim_->Now() - arrival));
       completed_request_ms_ += request_ms;
     }
   });
   return node;
+}
+
+void ClusterDispatcher::AddOutstanding(int node, double delta_ms) {
+  double& outstanding = outstanding_ms_[node];
+  const double before = outstanding;
+  outstanding = std::max(0.0, outstanding + delta_ms);
+  zone_outstanding_ms_[zone_topo_.ZoneOf(node)] += outstanding - before;
 }
 
 void ClusterDispatcher::BeginMeasurement() {
@@ -210,11 +258,13 @@ void ClusterDispatcher::BeginMeasurement() {
   completed_request_ms_ = 0;
   migrations_ = 0;
   migration_gpu_ms_ = 0;
+  recoveries_ = 0;
   for (int n = 0; n < config_.num_nodes; ++n) {
     NodeState& state = node_state_[n];
     state.dispatched_measured = 0;
     state.completed_measured = 0;
     state.switches_measured = 0;
+    state.failed_measured = 0;
     state.migrations_in = 0;
     state.migrations_out = 0;
     state.models_seen.clear();
@@ -240,6 +290,9 @@ bool ClusterDispatcher::NodeGated(int node) const {
 
 void ClusterDispatcher::ChargeMigrationKernel(int node, int model_index,
                                               const KernelDesc* kernel) {
+  // Migration kernels only ever target live nodes: MigrateModel sources are
+  // draining (not crashed) and recovery charges its restore on a survivor.
+  LITHOS_CHECK(!node_state_[node].failed);
   const FleetModel& model = fleet_.models()[model_index];
   const double half_ms = 0.5 * config_.migration_cost_ms_per_size * model.size;
   if (half_ms <= 0) {
@@ -248,12 +301,16 @@ void ClusterDispatcher::ChargeMigrationKernel(int node, int model_index,
   Stream* stream = StreamFor(node, model_index);
   Driver* driver = nodes_[node]->driver();
   driver->CuLaunchKernel(stream, kernel);
-  outstanding_ms_[node] += half_ms;
+  AddOutstanding(node, half_ms);
   if (sim_->Now() >= warmup_end_) {
     migration_gpu_ms_ += half_ms;
   }
-  driver->CuStreamAddCallback(stream, [this, node, half_ms] {
-    outstanding_ms_[node] = std::max(0.0, outstanding_ms_[node] - half_ms);
+  const uint64_t epoch = node_state_[node].epoch;
+  driver->CuStreamAddCallback(stream, [this, node, half_ms, epoch] {
+    if (node_state_[node].epoch != epoch) {
+      return;  // the node crashed mid-migration; FailNode wrote this off
+    }
+    AddOutstanding(node, -half_ms);
   });
 }
 
@@ -289,6 +346,7 @@ bool ClusterDispatcher::AddModelReplica(int model_index, int node) {
 }
 
 bool ClusterDispatcher::RemoveModelReplica(int model_index, int node) {
+  LITHOS_CHECK(!node_state_[node].failed);  // lost replicas go through DropLostReplica
   if (!placer_->RemoveReplica(model_index, node)) {
     return false;
   }
@@ -296,6 +354,79 @@ bool ClusterDispatcher::RemoveModelReplica(int model_index, int node) {
     ++node_state_[node].migrations_out;
   }
   ChargeMigrationKernel(node, model_index, &checkpoint_kernels_[model_index]);
+  return true;
+}
+
+// --- Fault hooks -------------------------------------------------------------
+
+void ClusterDispatcher::FailNode(int node) {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, config_.num_nodes);
+  NodeState& state = node_state_[node];
+  if (state.failed) {
+    return;
+  }
+  state.failed = true;
+  ++state.epoch;  // orphans every in-flight completion callback
+  ++failed_node_count_;
+  // Device memory dies with the host: a revived node cold-starts its first
+  // request (model-switch charge) like any fresh placement.
+  state.last_model = -1;
+  SetNodeActive(node, false);
+  AddOutstanding(node, -outstanding_ms_[node]);  // queued work is lost
+}
+
+void ClusterDispatcher::ReviveNode(int node) {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, config_.num_nodes);
+  NodeState& state = node_state_[node];
+  if (!state.failed) {
+    return;
+  }
+  state.failed = false;
+  --failed_node_count_;
+  // Deliberately *not* re-activated here: the repaired host rejoins the
+  // pool the same way a trough-gated node does — when the control plane
+  // decides it is needed.
+}
+
+bool ClusterDispatcher::NodeFailed(int node) const {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, config_.num_nodes);
+  return node_state_[node].failed;
+}
+
+void ClusterDispatcher::AppendRecoveryLog(const char* action, int model_index, int from, int to) {
+  char line[96];
+  std::snprintf(line, sizeof(line), "t=%lldns %s model=%s %d->%d",
+                static_cast<long long>(sim_->Now()), action,
+                fleet_.models()[model_index].id.c_str(), from, to);
+  recovery_log_.push_back(line);
+}
+
+bool ClusterDispatcher::RecoverModelReplica(int model_index, int from, int to) {
+  LITHOS_CHECK(node_state_[from].failed);   // recovery is for crashed sources only
+  LITHOS_CHECK(!node_state_[to].failed);    // ...onto a live survivor
+  if (from == to || !placer_->MoveReplica(model_index, from, to)) {
+    return false;
+  }
+  ++recoveries_;
+  if (sim_->Now() >= warmup_end_) {
+    ++node_state_[to].migrations_in;
+  }
+  // Restore-only: the checkpoint half is sunk cost (PhoenixOS restores from
+  // the latest checkpoint image; the dead node cannot run a kernel).
+  ChargeMigrationKernel(to, model_index, &restore_kernels_[model_index]);
+  AppendRecoveryLog("recover", model_index, from, to);
+  return true;
+}
+
+bool ClusterDispatcher::DropLostReplica(int model_index, int node) {
+  LITHOS_CHECK(node_state_[node].failed);
+  if (!placer_->RemoveReplica(model_index, node)) {
+    return false;
+  }
+  AppendRecoveryLog("drop", model_index, node, node);
   return true;
 }
 
@@ -325,6 +456,7 @@ ClusterResult ClusterDispatcher::Collect(DurationNs measured) {
     ns.model_switches = node_state_[n].switches_measured;
     ns.migrations_in = node_state_[n].migrations_in;
     ns.migrations_out = node_state_[n].migrations_out;
+    ns.failed = node_state_[n].failed_measured;
     ns.distinct_models = static_cast<int>(node_state_[n].models_seen.size());
     ns.busy_tpc_seconds = engine.busy_tpc_seconds;
     ns.energy_joules = engine.energy_joules;
@@ -345,9 +477,11 @@ ClusterResult ClusterDispatcher::Collect(DurationNs measured) {
     }
     result.dispatched += ns.dispatched;
     result.completed += ns.completed;
+    result.failed += ns.failed;
     result.total_model_switches += ns.model_switches;
     result.nodes.push_back(ns);
   }
+  result.recoveries = recoveries_;
   result.fleet_utilization = capacity_total > 0 ? busy_total / capacity_total : 0.0;
   result.used_utilization = capacity_used > 0 ? busy_used / capacity_used : 0.0;
   // Serial-equivalent request GPU-ms over the used pool's GPU-ms.

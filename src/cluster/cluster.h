@@ -14,6 +14,12 @@
 // request kernel — the cost that makes consolidation a placement problem
 // rather than a free-for-all, and the reason model-affinity packing beats
 // load-oblivious spraying.
+//
+// At region scale the pool splits into contiguous failure-domain zones
+// (ClusterConfig::num_zones); src/cluster/fleet_dispatcher.h adds the
+// Zone/FleetDispatcher facade and src/fault/ injects crashes, stragglers,
+// power caps, and whole-zone outages against the fault hooks below. See
+// docs/fleet.md for the hierarchy, failure model, and recovery semantics.
 #ifndef LITHOS_CLUSTER_CLUSTER_H_
 #define LITHOS_CLUSTER_CLUSTER_H_
 
@@ -66,6 +72,12 @@ class GpuNode {
 
 struct ClusterConfig {
   int num_nodes = 4;
+  // Failure domains: nodes are split into this many contiguous, equal-sized
+  // zones (num_nodes must divide evenly when > 1). With more than one zone
+  // the model-affinity policy upgrades to the hierarchical (zone-first)
+  // placer and packing spreads hot models across zones; 1 keeps the flat
+  // pre-hierarchy fleet.
+  int num_zones = 1;
   GpuSpec spec = GpuSpec::A100();
   // Per-node scheduling backend; any of the nine systems works.
   SystemKind system = SystemKind::kLithos;
@@ -111,6 +123,7 @@ struct ClusterNodeStats {
   uint64_t migrations_in = 0;     // replicas restored onto this node
   uint64_t migrations_out = 0;    // replicas checkpointed away from this node
   int distinct_models = 0;        // models that landed here in the window
+  uint64_t failed = 0;            // requests lost to a crash of this node
   double utilization = 0;         // busy TPC-seconds / capacity
   double busy_tpc_seconds = 0;
   double energy_joules = 0;
@@ -151,6 +164,12 @@ struct ClusterResult {
   // Live-migration traffic (autoscale control plane).
   uint64_t migrations = 0;           // replica re-homings (checkpoint + restore)
   double migration_gpu_ms = 0;       // GPU-ms charged for checkpoint/restore kernels
+
+  // Fault traffic (src/fault/ injection): requests lost because their node
+  // crashed before completion, and replicas re-placed off dead nodes via the
+  // restore-only recovery path.
+  uint64_t failed = 0;
+  uint64_t recoveries = 0;
 
   std::vector<ClusterNodeStats> nodes;
 };
@@ -197,9 +216,14 @@ class ClusterDispatcher {
 
   // --- Autoscale control-plane hooks ---------------------------------------
 
-  // Offered load — GPU-ms of request work arriving per wall-second — at
-  // simulated time `t`, following the diurnal curve. The scaling policies'
-  // ground-truth demand signal (predictive scaling feeds it forward).
+  // Expected offered load — GPU-ms of request work arriving per wall-second
+  // — at simulated time `t`: the diurnal curve's mean rate, a pure function
+  // of the config and `t`. This is the arrival process's *intensity*, not a
+  // measurement: realized arrivals are the (thinned) Poisson process around
+  // it, and the value is unaffected by capacity, node failures, or what was
+  // actually dispatched. The scaling policies' demand oracle — predictive
+  // scaling evaluates it one control period ahead; the reactive policy
+  // instead differences dispatched_request_ms() to see realized traffic.
   double OfferedLoadAt(TimeNs t) const;
 
   // Offered load at the diurnal mean (no curve factor applied).
@@ -241,14 +265,72 @@ class ClusterDispatcher {
 
   uint64_t migrations() const { return migrations_; }
 
+  // --- Zone topology (region-scale hierarchy) -------------------------------
+
+  int num_zones() const { return zone_topo_.num_zones; }
+  int ZoneOfNode(int node) const { return zone_topo_.ZoneOf(node); }
+  const ZoneTopology& zone_topology() const { return zone_topo_; }
+
+  // Incrementally maintained per-zone sum of outstanding_ms(): the fleet
+  // root's zone-selection signal, updated O(1) per dispatch/completion.
+  const std::vector<double>& zone_outstanding_ms() const { return zone_outstanding_ms_; }
+
+  // --- Fault hooks (src/fault/ injection) -----------------------------------
+
+  // Crashes a node: it leaves the placement rotation, its queued work is
+  // written off (outstanding drops to zero, and every in-flight request's
+  // completion is discounted as *failed* — no latency sample, no goodput
+  // credit), and its device memory is forgotten (last-served model resets,
+  // so a revived node cold-starts). Kernels already on the simulated device
+  // still burn to completion — the simulation discards their results rather
+  // than rewriting engine history. Idempotent.
+  void FailNode(int node);
+
+  // Repairs a crashed node. It returns *out of rotation* (and typically
+  // power-gated by then): the control plane decides when to re-activate it,
+  // exactly as it does for a node woken from the diurnal trough.
+  void ReviveNode(int node);
+
+  bool NodeFailed(int node) const;
+  int failed_node_count() const { return failed_node_count_; }
+
+  // Requests lost to crashes (lifetime; per-window counts come via Collect).
+  uint64_t failed() const { return failed_; }
+
+  // Crash recovery: re-homes a replica stranded on crashed node `from` onto
+  // healthy node `to`, charging only the restore kernel on `to` — the
+  // checkpoint half already happened (PhoenixOS-style: restore from the
+  // latest checkpoint; the dead node cannot execute anything). `from` must
+  // be failed and `to` healthy. Returns false if the placer refuses.
+  bool RecoverModelReplica(int model_index, int from, int to);
+
+  // Shrinks a replica set by a copy lost on crashed `node`, charging no
+  // kernel anywhere (there is nothing left to checkpoint). Used when the
+  // target packing wants fewer replicas than survived the crash.
+  bool DropLostReplica(int model_index, int node);
+
+  uint64_t recoveries() const { return recoveries_; }
+
+  // Append-only, deterministically formatted record of every recovery
+  // action (RecoverModelReplica / DropLostReplica) since construction; the
+  // fault-replay tests compare it byte-for-byte across runs.
+  const std::vector<std::string>& recovery_log() const { return recovery_log_; }
+
  private:
   struct NodeState {
     int last_model = -1;                 // model of the most recent launch
     uint64_t dispatched = 0;             // lifetime; identifies used nodes
+    // Crash state: `epoch` advances on every FailNode, and completion
+    // callbacks capture the epoch they were dispatched under — a stale
+    // epoch at completion means the node crashed in between and the work is
+    // discounted as failed.
+    bool failed = false;
+    uint64_t epoch = 0;
     // Measurement-window counters reported through ClusterNodeStats.
     uint64_t dispatched_measured = 0;
     uint64_t completed_measured = 0;
     uint64_t switches_measured = 0;
+    uint64_t failed_measured = 0;
     uint64_t migrations_in = 0;
     uint64_t migrations_out = 0;
     std::set<int> models_seen;           // cleared at window start
@@ -264,6 +346,10 @@ class ClusterDispatcher {
   // Launches one half of a migration (checkpoint or restore kernel) on the
   // node's stream for the model and tracks its outstanding GPU time.
   void ChargeMigrationKernel(int node, int model_index, const KernelDesc* kernel);
+  // Adjusts a node's outstanding-work estimate (clamped at zero) and keeps
+  // the per-zone aggregate in sync.
+  void AddOutstanding(int node, double delta_ms);
+  void AppendRecoveryLog(const char* action, int model_index, int from, int to);
 
   Simulator* sim_;
   ClusterConfig config_;
@@ -281,11 +367,17 @@ class ClusterDispatcher {
 
   std::vector<NodeState> node_state_;
   std::vector<double> outstanding_ms_;
+  ZoneTopology zone_topo_;
+  std::vector<double> zone_outstanding_ms_;  // zone -> sum of outstanding_ms_
   std::vector<Rng> arrival_rng_;         // one deterministic stream per model
   double peak_norm_ = 1.0;               // diurnal peak, thinning envelope
 
   uint64_t dispatched_ = 0;
   uint64_t completed_ = 0;
+  uint64_t failed_ = 0;               // requests lost to node crashes (lifetime)
+  int failed_node_count_ = 0;
+  uint64_t recoveries_ = 0;           // replica recoveries in the window
+  std::vector<std::string> recovery_log_;
   double completed_request_ms_ = 0;   // request GPU-ms finished after warm-up
   double dispatched_request_ms_ = 0;  // cumulative arrival-weighted request GPU-ms
   uint64_t migrations_ = 0;

@@ -1,0 +1,62 @@
+#include "src/cluster/fleet_dispatcher.h"
+
+#include "src/common/check.h"
+
+namespace lithos {
+
+FleetDispatcher::FleetDispatcher(Simulator* sim, const ClusterConfig& config)
+    : ClusterDispatcher(sim, config) {
+  const ZoneTopology& topo = zone_topology();
+  zones_.reserve(topo.num_zones);
+  for (int z = 0; z < topo.num_zones; ++z) {
+    zones_.emplace_back(z, topo.ZoneBegin(z), topo.zone_size);
+  }
+}
+
+void FleetDispatcher::FailZone(int z) {
+  LITHOS_CHECK_GE(z, 0);
+  LITHOS_CHECK_LT(z, static_cast<int>(zones_.size()));
+  for (int n = zones_[z].begin(); n < zones_[z].end(); ++n) {
+    FailNode(n);
+  }
+}
+
+void FleetDispatcher::ReviveZone(int z) {
+  LITHOS_CHECK_GE(z, 0);
+  LITHOS_CHECK_LT(z, static_cast<int>(zones_.size()));
+  for (int n = zones_[z].begin(); n < zones_[z].end(); ++n) {
+    ReviveNode(n);
+  }
+}
+
+bool FleetDispatcher::ZoneFailed(int z) const {
+  LITHOS_CHECK_GE(z, 0);
+  LITHOS_CHECK_LT(z, static_cast<int>(zones_.size()));
+  for (int n = zones_[z].begin(); n < zones_[z].end(); ++n) {
+    if (!NodeFailed(n)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ZoneSnapshot FleetDispatcher::SnapshotZone(int z) const {
+  LITHOS_CHECK_GE(z, 0);
+  LITHOS_CHECK_LT(z, static_cast<int>(zones_.size()));
+  ZoneSnapshot snap;
+  snap.zone = z;
+  snap.nodes = zones_[z].num_nodes();
+  snap.outstanding_ms = zone_outstanding_ms()[z];
+  for (int n = zones_[z].begin(); n < zones_[z].end(); ++n) {
+    if (NodeFailed(n)) {
+      ++snap.failed_nodes;
+    }
+    if (NodeActive(n)) {
+      ++snap.active_nodes;
+    }
+    snap.dispatched += dispatched_to(n);
+  }
+  return snap;
+}
+
+}  // namespace lithos

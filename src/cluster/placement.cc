@@ -25,6 +25,29 @@ std::vector<PlacementPolicy> AllPlacementPolicies() {
           PlacementPolicy::kModelAffinity};
 }
 
+std::vector<int> ZoneInterleave(const std::vector<int>& nodes, const ZoneTopology& topo) {
+  if (topo.num_zones <= 1 || topo.zone_size <= 0) {
+    return nodes;
+  }
+  std::vector<std::vector<int>> by_zone(topo.num_zones);
+  for (int node : nodes) {
+    const int z = topo.ZoneOf(node);
+    LITHOS_CHECK_GE(z, 0);
+    LITHOS_CHECK_LT(z, topo.num_zones);
+    by_zone[z].push_back(node);
+  }
+  std::vector<int> order;
+  order.reserve(nodes.size());
+  for (size_t rank = 0; order.size() < nodes.size(); ++rank) {
+    for (const std::vector<int>& zone : by_zone) {
+      if (rank < zone.size()) {
+        order.push_back(zone[rank]);
+      }
+    }
+  }
+  return order;
+}
+
 std::vector<std::vector<int>> PackModels(const std::vector<FleetModel>& models,
                                          const std::vector<int>& nodes, double aggregate_rps,
                                          double target_utilization) {
@@ -178,7 +201,31 @@ bool Placer::RemoveReplica(int model_index, int node) {
 void Placer::SetNodeEnabled(int node, bool enabled) {
   LITHOS_CHECK_GE(node, 0);
   LITHOS_CHECK_LT(node, num_nodes_);
-  enabled_[node] = enabled ? 1 : 0;
+  const char value = enabled ? 1 : 0;
+  if (enabled_[node] == value) {
+    return;
+  }
+  enabled_[node] = value;
+  if (!zone_enabled_.empty()) {
+    zone_enabled_[topo_.ZoneOf(node)] += enabled ? 1 : -1;
+  }
+}
+
+void Placer::SetZoneTopology(const ZoneTopology& topo) {
+  LITHOS_CHECK_GE(topo.num_zones, 1);
+  topo_ = topo;
+  zone_enabled_.assign(topo.num_zones, 0);
+  for (int n = 0; n < num_nodes_; ++n) {
+    if (enabled_[n]) {
+      ++zone_enabled_[topo_.ZoneOf(n)];
+    }
+  }
+}
+
+int Placer::ZoneEnabledNodes(int zone) const {
+  LITHOS_CHECK_GE(zone, 0);
+  LITHOS_CHECK_LT(zone, static_cast<int>(zone_enabled_.size()));
+  return zone_enabled_[zone];
 }
 
 bool Placer::NodeEnabled(int node) const {
@@ -278,7 +325,96 @@ class ModelAffinityPlacer : public Placer {
   }
 };
 
+// Hierarchical dispatch for region-scale fleets: zone first, node second.
+// The replica sets come from PackModels over the zone-interleaved node
+// order, so hot models already span zones; Place then never scans the whole
+// fleet — it walks the (sorted) replica list one zone at a time, scoring
+// each candidate zone from the dispatcher's per-zone queued-work aggregate,
+// and only the winning zone's replicas are compared individually.
+class ZonedAffinityPlacer : public Placer {
+ public:
+  ZonedAffinityPlacer(const std::vector<FleetModel>& models, const ZoneTopology& topo,
+                      int num_nodes, double aggregate_rps, double target_utilization,
+                      const std::vector<double>* zone_outstanding_ms)
+      : Placer(num_nodes, static_cast<int>(models.size())),
+        zone_outstanding_ms_(zone_outstanding_ms) {
+    LITHOS_CHECK(zone_outstanding_ms_ != nullptr);
+    LITHOS_CHECK_GT(topo.zone_size, 0);
+    LITHOS_CHECK_EQ(topo.num_zones * topo.zone_size, num_nodes);
+    SetZoneTopology(topo);
+    std::vector<int> all(num_nodes);
+    std::iota(all.begin(), all.end(), 0);
+    replicas_ = PackModels(models, ZoneInterleave(all, topo), aggregate_rps, target_utilization);
+  }
+
+  std::string Name() const override {
+    return PlacementPolicyName(PlacementPolicy::kModelAffinity) + "/zoned";
+  }
+
+  int Place(int model_index, const std::vector<double>& outstanding_ms) override {
+    const std::vector<int>& replicas = ReplicaNodes(model_index);
+    LITHOS_CHECK_EQ(static_cast<int>(zone_outstanding_ms_->size()), topo_.num_zones);
+
+    // Stage 1 (fleet root): walk the sorted replica list zone by zone —
+    // upper_bound jumps over each zone's replicas in O(log R) — and pick the
+    // zone with the least queued work per enabled node. Ties break to the
+    // lowest zone id.
+    int best_zone = -1;
+    double best_score = 0;
+    size_t best_begin = 0;
+    size_t best_end = 0;
+    size_t idx = 0;
+    while (idx < replicas.size()) {
+      const int zone = topo_.ZoneOf(replicas[idx]);
+      const size_t zone_end = static_cast<size_t>(
+          std::upper_bound(replicas.begin() + idx, replicas.end(), topo_.ZoneEnd(zone) - 1) -
+          replicas.begin());
+      const int enabled = zone_enabled_[zone];
+      if (enabled > 0) {
+        const double score = (*zone_outstanding_ms_)[zone] / enabled;
+        if (best_zone < 0 || score < best_score) {
+          best_zone = zone;
+          best_score = score;
+          best_begin = idx;
+          best_end = zone_end;
+        }
+      }
+      idx = zone_end;
+    }
+    if (best_zone < 0) {
+      // Every zone hosting a replica is fully disabled (e.g. the outage took
+      // the model's whole footprint): same fallbacks as the flat placers.
+      return PlaceLeastOutstanding(model_index, outstanding_ms);
+    }
+
+    // Stage 2 (zone dispatcher): join the shortest queue among the model's
+    // enabled replicas inside the chosen zone.
+    int best = -1;
+    for (size_t k = best_begin; k < best_end; ++k) {
+      const int node = replicas[k];
+      if (enabled_[node] && (best < 0 || outstanding_ms[node] < outstanding_ms[best])) {
+        best = node;
+      }
+    }
+    // The zone has enabled nodes but none of this model's replicas among
+    // them; fall back rather than dead-end.
+    return best >= 0 ? best : PlaceLeastOutstanding(model_index, outstanding_ms);
+  }
+
+ private:
+  const std::vector<double>* zone_outstanding_ms_;
+};
+
 }  // namespace
+
+std::unique_ptr<Placer> MakeZonedAffinityPlacer(const std::vector<FleetModel>& models,
+                                                const ZoneTopology& topo, int num_nodes,
+                                                double aggregate_rps, double target_utilization,
+                                                const std::vector<double>* zone_outstanding_ms) {
+  LITHOS_CHECK_GT(num_nodes, 0);
+  return std::make_unique<ZonedAffinityPlacer>(models, topo, num_nodes, aggregate_rps,
+                                               target_utilization, zone_outstanding_ms);
+}
 
 std::unique_ptr<Placer> MakePlacer(PlacementPolicy policy, const std::vector<FleetModel>& models,
                                    int num_nodes, double aggregate_rps,

@@ -18,6 +18,12 @@
 // mutable per-model replica set and a per-node enabled bit, so the autoscale
 // control plane (src/autoscale/) can re-home replicas (live migration) and
 // take nodes in and out of rotation (drain / power-off) mid-run.
+//
+// At region scale the flat O(N) scan becomes the dispatch bottleneck, so a
+// ZoneTopology upgrades model-affinity to a hierarchical two-stage variant
+// ("model-affinity/zoned"): pick the least-loaded zone holding a replica,
+// then the least-loaded replica within it, with replica sets packed in
+// ZoneInterleave order for cross-zone anti-affinity — see docs/fleet.md.
 #ifndef LITHOS_CLUSTER_PLACEMENT_H_
 #define LITHOS_CLUSTER_PLACEMENT_H_
 
@@ -38,6 +44,28 @@ enum class PlacementPolicy {
 std::string PlacementPolicyName(PlacementPolicy policy);
 // All policies in increasing order of sophistication.
 std::vector<PlacementPolicy> AllPlacementPolicies();
+
+// Failure-domain topology: the pool's nodes are split into `num_zones`
+// contiguous zones of `zone_size` nodes each, so zone z owns nodes
+// [z * zone_size, (z + 1) * zone_size). A zone models one blast radius — a
+// rack/PDU/network domain that fails together. num_zones == 1 (or
+// zone_size == 0) is the flat, pre-hierarchy fleet.
+struct ZoneTopology {
+  int num_zones = 1;
+  int zone_size = 0;  // nodes per zone; 0 = flat (everything in zone 0)
+
+  int ZoneOf(int node) const { return zone_size > 0 ? node / zone_size : 0; }
+  int ZoneBegin(int zone) const { return zone * zone_size; }
+  int ZoneEnd(int zone) const { return (zone + 1) * zone_size; }
+};
+
+// Zone-interleaved ordering of `nodes` (ascending node ids in, round-robin
+// across zones out: first node of each zone, then second of each, ...).
+// Feeding this order to PackModels makes first-fit consolidation fill one
+// node per zone before reusing any zone, so the packed fleet — and in
+// particular a hot model's replica set — spreads across failure domains and
+// a whole-zone outage leaves survivors elsewhere.
+std::vector<int> ZoneInterleave(const std::vector<int>& nodes, const ZoneTopology& topo);
 
 // First-fit-decreasing packing of expected per-model load onto `nodes`
 // (actual node ids; need not be contiguous). Each model's expected load
@@ -97,6 +125,13 @@ class Placer {
   void SetNodeEnabled(int node, bool enabled);
   bool NodeEnabled(int node) const;
 
+  // Installs a zone topology: from here on SetNodeEnabled maintains a
+  // per-zone enabled-node count, the signal hierarchical placers use to
+  // skip dark zones in O(1) per zone.
+  void SetZoneTopology(const ZoneTopology& topo);
+  const ZoneTopology& zone_topology() const { return topo_; }
+  int ZoneEnabledNodes(int zone) const;
+
   int num_nodes() const { return num_nodes_; }
   int num_models() const { return num_models_; }
 
@@ -115,6 +150,8 @@ class Placer {
   int num_models_ = 0;
   std::vector<std::vector<int>> replicas_;  // model -> sorted replica nodes
   std::vector<char> enabled_;               // node -> in rotation?
+  ZoneTopology topo_;                       // flat unless SetZoneTopology ran
+  std::vector<int> zone_enabled_;           // zone -> enabled node count
 };
 
 // Builds a placer.
@@ -126,6 +163,23 @@ class Placer {
 std::unique_ptr<Placer> MakePlacer(PlacementPolicy policy, const std::vector<FleetModel>& models,
                                    int num_nodes, double aggregate_rps,
                                    double target_utilization);
+
+// Builds the hierarchical (zoned) model-affinity placer: the fleet root of a
+// two-level dispatch. Construction packs replica sets over the
+// zone-interleaved node order (cross-zone anti-affinity for hot models);
+// Place picks a zone first — the least-loaded zone hosting an enabled
+// replica, scored by `zone_outstanding_ms` (the dispatcher's incrementally
+// maintained per-zone queued-work aggregate, averaged over the zone's
+// enabled nodes) — then joins the shortest queue among the model's replicas
+// inside that zone. Per-arrival work is O(Z_m log R + R/Z) for R replicas
+// spanning Z_m of Z zones, versus the flat placer's O(R) scan, and the
+// chosen node is a pure function of (replica sets, enabled bits,
+// outstanding work), preserving the determinism contract.
+// `zone_outstanding_ms` must outlive the placer and hold one entry per zone.
+std::unique_ptr<Placer> MakeZonedAffinityPlacer(const std::vector<FleetModel>& models,
+                                                const ZoneTopology& topo, int num_nodes,
+                                                double aggregate_rps, double target_utilization,
+                                                const std::vector<double>* zone_outstanding_ms);
 
 }  // namespace lithos
 

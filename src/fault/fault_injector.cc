@@ -1,0 +1,195 @@
+#include "src/fault/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.h"
+#include "src/common/rng.h"
+#include "src/gpu/execution_engine.h"
+
+namespace lithos {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "crash";
+    case FaultKind::kNodeRepair:
+      return "repair";
+    case FaultKind::kStragglerStart:
+      return "straggle";
+    case FaultKind::kStragglerEnd:
+      return "recover-clock";
+    case FaultKind::kZoneOutage:
+      return "zone-outage";
+    case FaultKind::kZoneRepair:
+      return "zone-repair";
+    case FaultKind::kPowerCapStart:
+      return "power-cap";
+    case FaultKind::kPowerCapEnd:
+      return "power-uncap";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(Simulator* sim, FleetDispatcher* fleet,
+                             const FaultScenarioConfig& config)
+    : sim_(sim), fleet_(fleet), config_(config) {
+  LITHOS_CHECK(fleet_ != nullptr);
+  const int num_nodes = fleet_->config().num_nodes;
+  const int num_zones = fleet_->num_zones();
+  fail_causes_.assign(num_nodes, 0);
+  straggle_causes_.assign(num_nodes, 0);
+  zone_cap_.assign(num_zones, 1.0);
+
+  // Scripted events first, in declaration order.
+  for (const ZoneOutageSpec& outage : config_.zone_outages) {
+    LITHOS_CHECK_GE(outage.zone, 0);
+    LITHOS_CHECK_LT(outage.zone, num_zones);
+    schedule_.push_back({outage.at, FaultKind::kZoneOutage, outage.zone, -1, 0.0});
+    schedule_.push_back({outage.at + outage.duration, FaultKind::kZoneRepair, outage.zone, -1, 1.0});
+  }
+  for (const PowerCapSpec& cap : config_.power_caps) {
+    LITHOS_CHECK_GE(cap.zone, 0);
+    LITHOS_CHECK_LT(cap.zone, num_zones);
+    LITHOS_CHECK_GT(cap.freq_fraction, 0.0);
+    schedule_.push_back({cap.at, FaultKind::kPowerCapStart, cap.zone, -1, cap.freq_fraction});
+    schedule_.push_back({cap.at + cap.duration, FaultKind::kPowerCapEnd, cap.zone, -1, 1.0});
+  }
+
+  // Random processes: one seeded generator, drawn in a fixed order (all
+  // crashes, then all stragglers), so the schedule is a pure function of
+  // the config.
+  Rng rng(config_.seed * 0x9E3779B97F4A7C15ULL + 0xFA01Du);
+  if (config_.crashes_per_second > 0 && config_.horizon > 0) {
+    TimeNs t = 0;
+    while (true) {
+      t += FromSeconds(rng.Exponential(1.0 / config_.crashes_per_second));
+      if (t >= config_.horizon) {
+        break;
+      }
+      const int node = static_cast<int>(rng.UniformInt(0, num_nodes - 1));
+      schedule_.push_back({t, FaultKind::kNodeCrash, fleet_->ZoneOfNode(node), node, 0.0});
+      schedule_.push_back(
+          {t + config_.crash_repair, FaultKind::kNodeRepair, fleet_->ZoneOfNode(node), node, 1.0});
+    }
+  }
+  if (config_.stragglers_per_second > 0 && config_.horizon > 0) {
+    LITHOS_CHECK_GT(config_.straggler_slowdown, 0.0);
+    TimeNs t = 0;
+    while (true) {
+      t += FromSeconds(rng.Exponential(1.0 / config_.stragglers_per_second));
+      if (t >= config_.horizon) {
+        break;
+      }
+      const int node = static_cast<int>(rng.UniformInt(0, num_nodes - 1));
+      schedule_.push_back({t, FaultKind::kStragglerStart, fleet_->ZoneOfNode(node), node,
+                           config_.straggler_slowdown});
+      schedule_.push_back({t + config_.straggler_duration, FaultKind::kStragglerEnd,
+                           fleet_->ZoneOfNode(node), node, 1.0});
+    }
+  }
+
+  // Stable by time: simultaneous events keep generation order, and Arm()
+  // inserts them into the simulator in this order, so equal-timestamp faults
+  // fire exactly as listed.
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+}
+
+std::string FaultInjector::FormatEvent(const FaultEvent& event) {
+  char line[112];
+  if (event.node >= 0) {
+    std::snprintf(line, sizeof(line), "t=%lldns %s node=%d zone=%d factor=%.3f",
+                  static_cast<long long>(event.at), FaultKindName(event.kind), event.node,
+                  event.zone, event.factor);
+  } else {
+    std::snprintf(line, sizeof(line), "t=%lldns %s zone=%d factor=%.3f",
+                  static_cast<long long>(event.at), FaultKindName(event.kind), event.zone,
+                  event.factor);
+  }
+  return line;
+}
+
+std::vector<std::string> FaultInjector::ScheduleLines() const {
+  std::vector<std::string> lines;
+  lines.reserve(schedule_.size());
+  for (const FaultEvent& event : schedule_) {
+    lines.push_back(FormatEvent(event));
+  }
+  return lines;
+}
+
+void FaultInjector::Arm() {
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    const TimeNs at = std::max(schedule_[i].at, sim_->Now());
+    sim_->ScheduleAt(at, [this, i] { Apply(schedule_[i]); });
+  }
+}
+
+void FaultInjector::FailCause(int node, int delta) {
+  fail_causes_[node] += delta;
+  LITHOS_CHECK_GE(fail_causes_[node], 0);
+  if (delta > 0 && fail_causes_[node] == 1) {
+    fleet_->FailNode(node);
+  } else if (delta < 0 && fail_causes_[node] == 0) {
+    fleet_->ReviveNode(node);
+  }
+}
+
+void FaultInjector::ApplyFrequency(int node) {
+  const GpuSpec& spec = fleet_->config().spec;
+  const double straggle = straggle_causes_[node] > 0 ? config_.straggler_slowdown : 1.0;
+  const double fraction = std::min(straggle, zone_cap_[fleet_->ZoneOfNode(node)]);
+  const int mhz = spec.ClampFrequency(static_cast<int>(std::llround(spec.max_mhz * fraction)));
+  fleet_->nodes()[node]->engine()->RequestFrequencyMhz(mhz);
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultKind::kNodeCrash:
+      ++node_crashes_;
+      FailCause(event.node, +1);
+      break;
+    case FaultKind::kNodeRepair:
+      FailCause(event.node, -1);
+      break;
+    case FaultKind::kZoneOutage:
+      ++zone_outages_;
+      for (int n = fleet_->zone(event.zone).begin(); n < fleet_->zone(event.zone).end(); ++n) {
+        FailCause(n, +1);
+      }
+      break;
+    case FaultKind::kZoneRepair:
+      for (int n = fleet_->zone(event.zone).begin(); n < fleet_->zone(event.zone).end(); ++n) {
+        FailCause(n, -1);
+      }
+      break;
+    case FaultKind::kStragglerStart:
+      ++stragglers_;
+      ++straggle_causes_[event.node];
+      ApplyFrequency(event.node);
+      break;
+    case FaultKind::kStragglerEnd:
+      --straggle_causes_[event.node];
+      LITHOS_CHECK_GE(straggle_causes_[event.node], 0);
+      ApplyFrequency(event.node);
+      break;
+    case FaultKind::kPowerCapStart:
+      ++power_caps_;
+      zone_cap_[event.zone] = event.factor;
+      for (int n = fleet_->zone(event.zone).begin(); n < fleet_->zone(event.zone).end(); ++n) {
+        ApplyFrequency(n);
+      }
+      break;
+    case FaultKind::kPowerCapEnd:
+      zone_cap_[event.zone] = 1.0;
+      for (int n = fleet_->zone(event.zone).begin(); n < fleet_->zone(event.zone).end(); ++n) {
+        ApplyFrequency(n);
+      }
+      break;
+  }
+  trace_.push_back(FormatEvent(event));
+}
+
+}  // namespace lithos

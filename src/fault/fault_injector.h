@@ -1,0 +1,154 @@
+// Deterministic fault injection for region-scale fleets.
+//
+// A FaultInjector turns a FaultScenarioConfig into a *fully pre-generated*
+// schedule of fault events — node crashes with repairs, stragglers (DVFS
+// slowdown for a bounded window), zone-wide power caps, and whole-zone
+// outages — and arms them on the shared simulator clock. Everything is a
+// pure function of the scenario config: the random components draw from one
+// seeded Rng at construction, the schedule is sorted by (time, generation
+// order), and application happens through the dispatcher/engine hooks on
+// the deterministic event queue. Same config -> byte-identical schedule,
+// byte-identical applied-fault trace, byte-identical recovery — across
+// runs and across SweepRunner `--jobs` values (the replay tests enforce
+// this).
+//
+// Failure semantics live in the layers below: a crash goes through
+// ClusterDispatcher::FailNode (queued work written off, in-flight requests
+// discounted as failed, placement rotation updated immediately), and
+// recovery is the FleetController's job at its next tick. Stragglers and
+// power caps request a lower clock through ExecutionEngine's DVFS path
+// (effective after the spec's freq_switch_latency, like real GPUs); when a
+// node is both straggling and zone-capped the most restrictive factor wins.
+#ifndef LITHOS_FAULT_FAULT_INJECTOR_H_
+#define LITHOS_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/fleet_dispatcher.h"
+#include "src/common/time.h"
+#include "src/sim/simulator.h"
+
+namespace lithos {
+
+// A scripted whole-zone outage: every node in the zone crashes at `at` and
+// is repaired `duration` later.
+struct ZoneOutageSpec {
+  int zone = 0;
+  TimeNs at = 0;
+  DurationNs duration = FromSeconds(1);
+};
+
+// A scripted zone-wide power cap: every node in the zone is clocked down to
+// `freq_fraction` of the spec's max frequency for `duration`.
+struct PowerCapSpec {
+  int zone = 0;
+  TimeNs at = 0;
+  DurationNs duration = FromSeconds(1);
+  double freq_fraction = 0.7;
+};
+
+struct FaultScenarioConfig {
+  // Shown in bench tables; also a convenient grid key.
+  std::string name = "healthy";
+
+  uint64_t seed = 1;
+  // Random faults are sampled over [0, horizon); scripted events may land
+  // anywhere. 0 disables the random processes.
+  TimeNs horizon = 0;
+
+  // Fleet-wide Poisson rate of independent node crashes (crashes per
+  // simulated second, victim uniform over the pool); each crash is repaired
+  // `crash_repair` later.
+  double crashes_per_second = 0;
+  DurationNs crash_repair = FromSeconds(2);
+
+  // Fleet-wide Poisson rate of straggler onsets: the victim runs at
+  // `straggler_slowdown` of its max clock for `straggler_duration`.
+  double stragglers_per_second = 0;
+  double straggler_slowdown = 0.5;
+  DurationNs straggler_duration = FromMillis(800);
+
+  std::vector<ZoneOutageSpec> zone_outages;
+  std::vector<PowerCapSpec> power_caps;
+};
+
+enum class FaultKind {
+  kNodeCrash,
+  kNodeRepair,
+  kStragglerStart,
+  kStragglerEnd,
+  kZoneOutage,
+  kZoneRepair,
+  kPowerCapStart,
+  kPowerCapEnd,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  TimeNs at = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  int zone = -1;    // zone-scoped events
+  int node = -1;    // node-scoped events
+  double factor = 1.0;  // clock fraction for straggler / power-cap starts
+};
+
+class FaultInjector {
+ public:
+  // Generates the full schedule deterministically; nothing is armed yet.
+  FaultInjector(Simulator* sim, FleetDispatcher* fleet, const FaultScenarioConfig& config);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // The pre-generated schedule, sorted by (time, generation order).
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+
+  // Printable schedule, one deterministic line per event (replay tests
+  // compare this byte-for-byte).
+  std::vector<std::string> ScheduleLines() const;
+
+  // Schedules every event on the simulator clock. Call once, before Run.
+  void Arm();
+
+  // Applied-fault log: one line per event actually executed, in execution
+  // order. A prefix of ScheduleLines() interleavings when the run's horizon
+  // cuts the schedule short.
+  const std::vector<std::string>& trace() const { return trace_; }
+
+  uint64_t node_crashes() const { return node_crashes_; }
+  uint64_t zone_outages() const { return zone_outages_; }
+  uint64_t stragglers() const { return stragglers_; }
+  uint64_t power_caps() const { return power_caps_; }
+
+ private:
+  void Apply(const FaultEvent& event);
+  // Re-resolves and requests node's effective clock from the overlap of its
+  // straggler state and its zone's cap (most restrictive wins).
+  void ApplyFrequency(int node);
+  void FailCause(int node, int delta);
+  static std::string FormatEvent(const FaultEvent& event);
+
+  Simulator* sim_;
+  FleetDispatcher* fleet_;
+  FaultScenarioConfig config_;
+  std::vector<FaultEvent> schedule_;
+
+  // Overlap bookkeeping: a node stays down until every cause that failed it
+  // has been repaired (a crash inside a zone outage does not resurrect the
+  // node when the crash's own repair timer fires first).
+  std::vector<int> fail_causes_;      // node -> active failure causes
+  std::vector<int> straggle_causes_;  // node -> active straggler windows
+  std::vector<double> zone_cap_;      // zone -> clock fraction (1 = uncapped)
+
+  std::vector<std::string> trace_;
+  uint64_t node_crashes_ = 0;
+  uint64_t zone_outages_ = 0;
+  uint64_t stragglers_ = 0;
+  uint64_t power_caps_ = 0;
+};
+
+}  // namespace lithos
+
+#endif  // LITHOS_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,91 @@
+#include "src/fault/scenario.h"
+
+#include "src/common/check.h"
+#include "src/gpu/execution_engine.h"
+
+namespace lithos {
+
+FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
+  LITHOS_CHECK(!config.phases.empty());
+  for (size_t i = 0; i < config.phases.size(); ++i) {
+    LITHOS_CHECK_LT(config.phases[i].begin, config.phases[i].end);
+    if (i > 0) {
+      LITHOS_CHECK_GE(config.phases[i].begin, config.phases[i - 1].end);
+    }
+  }
+  const TimeNs horizon = config.phases.back().end;
+
+  Simulator sim;
+  FleetDispatcher fleet(&sim, config.cluster);
+
+  AutoscaleConfig control;
+  control.cluster = config.cluster;
+  control.scaling = config.scaling;
+  control.control_period = config.control_period;
+  control.target_util = config.target_util;
+  control.min_nodes = config.min_nodes;
+  control.max_migrations_per_period = config.max_migrations_per_period;
+  FleetController controller(&sim, &fleet, control);
+
+  FaultScenarioConfig faults = config.faults;
+  if (faults.horizon == 0) {
+    faults.horizon = horizon;
+  }
+  FaultInjector injector(&sim, &fleet, faults);
+  injector.Arm();
+
+  FleetFaultResult result;
+  result.num_nodes = config.cluster.num_nodes;
+  result.num_zones = config.cluster.num_zones;
+  result.phases.resize(config.phases.size());
+
+  // Phase boundaries: close the window (Collect) before the next one opens.
+  // Loop order matters — at a shared boundary instant the close callback is
+  // inserted before the next open callback, and equal-time events fire in
+  // insertion order.
+  for (size_t i = 0; i < config.phases.size(); ++i) {
+    const FaultPhase& phase = config.phases[i];
+    sim.ScheduleAt(phase.begin, [&fleet] {
+      for (const std::unique_ptr<GpuNode>& node : fleet.nodes()) {
+        node->engine()->ResetStats();
+      }
+      fleet.BeginMeasurement();
+    });
+    sim.ScheduleAt(phase.end, [&fleet, &result, &config, i] {
+      const FaultPhase& phase = config.phases[i];
+      const DurationNs window = phase.end - phase.begin;
+      const ClusterResult cluster = fleet.Collect(window);
+      FaultPhaseStats& stats = result.phases[i];
+      stats.name = phase.name;
+      stats.seconds = ToSeconds(window);
+      stats.dispatched = cluster.dispatched;
+      stats.completed = cluster.completed;
+      stats.failed = cluster.failed;
+      stats.mean_ms = cluster.mean_ms;
+      stats.p99_ms = cluster.p99_ms;
+      stats.throughput_rps = cluster.throughput_rps;
+      stats.goodput_ms_per_s =
+          stats.seconds > 0 ? cluster.completed_request_gpu_ms / stats.seconds : 0.0;
+      stats.migrations = cluster.migrations;
+      stats.recoveries = cluster.recoveries;
+    });
+  }
+
+  fleet.SetWarmupEnd(config.phases.front().begin);
+  fleet.StartArrivals(horizon);
+  controller.Start(horizon);
+  sim.RunUntil(horizon);
+
+  result.schedule = injector.ScheduleLines();
+  result.fault_trace = injector.trace();
+  result.recovery_log = fleet.recovery_log();
+  result.node_crashes = injector.node_crashes();
+  result.zone_outages = injector.zone_outages();
+  result.stragglers = injector.stragglers();
+  result.failed_requests = fleet.failed();
+  result.recoveries = static_cast<uint64_t>(fleet.recovery_log().size());
+  result.events_fired = sim.events_fired();
+  return result;
+}
+
+}  // namespace lithos

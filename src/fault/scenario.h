@@ -1,0 +1,89 @@
+// Phased fault experiments: run a fleet + controller + fault injector on one
+// simulator and measure latency/goodput over named, non-overlapping phases
+// (e.g. before / during / after a zone outage).
+//
+// RunFleetFaultScenario is a pure function of its config — the entry point
+// bench_cluster_faults sweeps through SweepRunner, so every (policy x
+// scenario) grid point is byte-identical at any `--jobs` value. The result
+// also carries the injector's applied-fault trace and the dispatcher's
+// recovery log for the deterministic-replay tests.
+#ifndef LITHOS_FAULT_SCENARIO_H_
+#define LITHOS_FAULT_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/autoscale/fleet_controller.h"
+#include "src/cluster/cluster.h"
+#include "src/fault/fault_injector.h"
+
+namespace lithos {
+
+// One measurement window. Phases must be ordered and non-overlapping;
+// adjacent phases may share a boundary instant.
+struct FaultPhase {
+  std::string name;
+  TimeNs begin = 0;
+  TimeNs end = 0;
+};
+
+struct FleetFaultConfig {
+  // The pool: num_zones > 1 for zone-level scenarios. cluster.warmup and
+  // cluster.duration are ignored — the phase list defines the windows and
+  // the horizon is the last phase's end.
+  ClusterConfig cluster;
+
+  // Control plane. Static-peak scaling keeps the whole pool on, isolating
+  // fault response from autoscaling; the migration budget is per tick and
+  // recovery moves are forced regardless.
+  ScalingPolicyKind scaling = ScalingPolicyKind::kStaticPeak;
+  DurationNs control_period = FromMillis(250);
+  double target_util = 0.5;
+  int min_nodes = 1;
+  int max_migrations_per_period = 8;
+
+  FaultScenarioConfig faults;
+  std::vector<FaultPhase> phases;
+};
+
+// Per-phase fleet metrics (the dispatcher's Collect over that window).
+struct FaultPhaseStats {
+  std::string name;
+  double seconds = 0;
+  uint64_t dispatched = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;           // requests lost to crashes
+  double mean_ms = 0;
+  double p99_ms = 0;
+  double throughput_rps = 0;
+  // Goodput: request GPU-ms completed per wall-second of the window —
+  // the capacity actually served, excluding switch/migration overhead.
+  double goodput_ms_per_s = 0;
+  uint64_t migrations = 0;
+  uint64_t recoveries = 0;
+};
+
+struct FleetFaultResult {
+  int num_nodes = 0;
+  int num_zones = 0;
+  std::vector<FaultPhaseStats> phases;
+  std::vector<std::string> schedule;      // pre-generated fault schedule
+  std::vector<std::string> fault_trace;   // faults actually applied
+  std::vector<std::string> recovery_log;  // dispatcher recovery actions
+  uint64_t node_crashes = 0;
+  uint64_t zone_outages = 0;
+  uint64_t stragglers = 0;
+  uint64_t failed_requests = 0;  // lifetime, across all phases and gaps
+  uint64_t recoveries = 0;       // recovery-log entries
+  uint64_t events_fired = 0;     // simulator events over the whole run
+};
+
+// Builds simulator + FleetDispatcher + FleetController + FaultInjector,
+// runs to the last phase's end, and collects per-phase metrics.
+// Deterministic for a given config.
+FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config);
+
+}  // namespace lithos
+
+#endif  // LITHOS_FAULT_SCENARIO_H_

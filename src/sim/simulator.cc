@@ -147,6 +147,7 @@ void Simulator::FireTop() {
   EventCallback fn = std::move(s.fn);
   RemoveFromHeap(0);
   FreeSlot(slot);
+  ++events_fired_;
   fn();
 }
 

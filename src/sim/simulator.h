@@ -179,6 +179,17 @@ class Simulator {
 
   size_t pending_events() const { return heap_.size(); }
 
+  // Events executed since construction. Region-scale runs report this as
+  // their work measure (events/sec of wall time), and the determinism
+  // contract extends to it: two runs of the same configuration fire the
+  // same events in the same order, so the count — like every other
+  // simulation output — is byte-identical across runs and `--jobs` values.
+  // This holds per zone too: a multi-zone fleet shares this one clock and
+  // one totally ordered (at, seq) queue, so per-zone event interleavings
+  // are a deterministic function of the configuration, not of which worker
+  // thread ran the sweep point.
+  uint64_t events_fired() const { return events_fired_; }
+
  private:
   // Slab entry. `heap_index` is the event's position in `heap_` (-1 when the
   // slot is free); `generation` increments every time the slot is recycled so
@@ -223,6 +234,7 @@ class Simulator {
 
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t events_fired_ = 0;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
   std::vector<uint32_t> heap_;  // slot indices, d-ary min-heap by (at, seq)

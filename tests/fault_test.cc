@@ -1,0 +1,302 @@
+// Fault-layer tests: zone topology and hierarchical placement, crash/revive
+// semantics at the dispatcher, restore-only recovery through the controller,
+// and the deterministic-replay contract — same seed, byte-identical fault
+// schedule and recovery trace across runs and SweepRunner --jobs values.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/autoscale/fleet_controller.h"
+#include "src/cluster/fleet_dispatcher.h"
+#include "src/cluster/placement.h"
+#include "src/experiments/sweep.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/scenario.h"
+
+namespace lithos {
+namespace {
+
+ClusterConfig ZonedConfig(int num_zones, int nodes_per_zone,
+                          PlacementPolicy policy = PlacementPolicy::kModelAffinity) {
+  ClusterConfig config;
+  config.policy = policy;
+  config.system = SystemKind::kMps;  // passive backend keeps fleet tests fast
+  config.num_nodes = num_zones * nodes_per_zone;
+  config.num_zones = num_zones;
+  config.aggregate_rps = 400.0;
+  config.seed = 7;
+  return config;
+}
+
+FleetFaultConfig OutageScenario(int num_zones, int nodes_per_zone) {
+  FleetFaultConfig config;
+  config.cluster = ZonedConfig(num_zones, nodes_per_zone);
+  config.scaling = ScalingPolicyKind::kStaticPeak;
+  config.max_migrations_per_period = 8;
+  config.faults.name = "zone-outage";
+  config.faults.seed = 11;
+  config.faults.zone_outages = {{/*zone=*/0, FromSeconds(2), FromSeconds(1)}};
+  config.phases = {{"pre", FromSeconds(1), FromSeconds(2)},
+                   {"during", FromSeconds(2), FromSeconds(3)},
+                   {"post", FromMillis(3500), FromMillis(5500)}};
+  return config;
+}
+
+// --- Zone topology and hierarchical placement --------------------------------
+
+TEST(ZoneTest, TopologyPartitionsNodes) {
+  Simulator sim;
+  FleetDispatcher fleet(&sim, ZonedConfig(4, 3));
+  ASSERT_EQ(fleet.zones().size(), 4u);
+  for (int z = 0; z < 4; ++z) {
+    EXPECT_EQ(fleet.zone(z).id(), z);
+    EXPECT_EQ(fleet.zone(z).num_nodes(), 3);
+    for (int n = fleet.zone(z).begin(); n < fleet.zone(z).end(); ++n) {
+      EXPECT_TRUE(fleet.zone(z).Contains(n));
+      EXPECT_EQ(fleet.ZoneOfNode(n), z);
+    }
+  }
+}
+
+TEST(ZoneTest, ZoneInterleaveRoundRobinsAcrossZones) {
+  ZoneTopology topo;
+  topo.num_zones = 3;
+  topo.zone_size = 2;
+  const std::vector<int> order = ZoneInterleave({0, 1, 2, 3, 4, 5}, topo);
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 1, 3, 5}));
+  // Subsets keep the round-robin shape.
+  EXPECT_EQ(ZoneInterleave({0, 1, 4}, topo), (std::vector<int>{0, 4, 1}));
+}
+
+TEST(ZoneTest, ZonedPackingSpreadsHotModelsAcrossZones) {
+  Simulator sim;
+  ClusterConfig config = ZonedConfig(4, 8);
+  config.aggregate_rps = 2000.0;  // hot head models need several replicas
+  FleetDispatcher fleet(&sim, config);
+  EXPECT_EQ(fleet.placer().Name(), "model-affinity/zoned");
+
+  // The most popular model's replicas must span more than one failure
+  // domain, so a whole-zone outage leaves live copies elsewhere.
+  const std::vector<int>& replicas = fleet.placer().ReplicaNodes(0);
+  ASSERT_GT(replicas.size(), 1u);
+  std::set<int> zones;
+  for (int node : replicas) {
+    zones.insert(fleet.ZoneOfNode(node));
+  }
+  EXPECT_GT(zones.size(), 1u);
+}
+
+TEST(ZoneTest, ZonedPlacerRoutesAroundDeadZone) {
+  Simulator sim;
+  ClusterConfig config = ZonedConfig(4, 4);
+  FleetDispatcher fleet(&sim, config);
+  fleet.FailZone(0);
+  EXPECT_TRUE(fleet.ZoneFailed(0));
+  EXPECT_EQ(fleet.failed_node_count(), 4);
+
+  // Every model stays routable, and nothing routes into the dead zone.
+  for (int m = 0; m < static_cast<int>(fleet.models().size()); ++m) {
+    const int node = fleet.Dispatch(m);
+    EXPECT_GE(node, 4) << "model " << m << " routed into the failed zone";
+  }
+  sim.RunToCompletion();
+}
+
+// --- Crash semantics ---------------------------------------------------------
+
+TEST(FaultTest, CrashWritesOffInFlightWork) {
+  Simulator sim;
+  ClusterConfig config = ZonedConfig(2, 2, PlacementPolicy::kLeastLoaded);
+  FleetDispatcher fleet(&sim, config);
+
+  // Put two requests in flight (least-loaded spreads them over two nodes),
+  // then crash both hosts before either completes.
+  const int victim = fleet.Dispatch(0);
+  const int other = fleet.Dispatch(0);
+  ASSERT_NE(victim, other);
+  EXPECT_GT(fleet.outstanding_ms()[victim], 0.0);
+  EXPECT_GT(fleet.zone_outstanding_ms()[fleet.ZoneOfNode(victim)], 0.0);
+
+  fleet.FailNode(victim);
+  fleet.FailNode(other);
+  EXPECT_TRUE(fleet.NodeFailed(victim));
+  EXPECT_FALSE(fleet.NodeActive(victim));
+  EXPECT_EQ(fleet.outstanding_ms()[victim], 0.0);
+  EXPECT_EQ(fleet.outstanding_ms()[other], 0.0);
+  for (double zone_ms : fleet.zone_outstanding_ms()) {
+    EXPECT_EQ(zone_ms, 0.0);
+  }
+
+  sim.RunToCompletion();
+  EXPECT_EQ(fleet.completed(), 0u);
+  EXPECT_EQ(fleet.failed(), 2u);
+
+  // Revive: the nodes stay out of rotation until a controller re-adds them.
+  fleet.ReviveNode(victim);
+  fleet.ReviveNode(other);
+  EXPECT_FALSE(fleet.NodeFailed(victim));
+  EXPECT_FALSE(fleet.NodeActive(victim));
+  EXPECT_EQ(fleet.failed_node_count(), 0);
+}
+
+TEST(FaultTest, FailNodeIsIdempotent) {
+  Simulator sim;
+  FleetDispatcher fleet(&sim, ZonedConfig(2, 2));
+  fleet.FailNode(1);
+  fleet.FailNode(1);
+  EXPECT_EQ(fleet.failed_node_count(), 1);
+  fleet.ReviveNode(1);
+  fleet.ReviveNode(1);
+  EXPECT_EQ(fleet.failed_node_count(), 0);
+}
+
+TEST(FaultTest, RecoverModelReplicaChargesRestoreOnly) {
+  Simulator sim;
+  FleetDispatcher fleet(&sim, ZonedConfig(2, 2));
+  // Find a model hosted on node 0 and a survivor not hosting it.
+  int model = -1;
+  for (int m = 0; m < static_cast<int>(fleet.models().size()); ++m) {
+    const std::vector<int>& replicas = fleet.placer().ReplicaNodes(m);
+    if (replicas.size() == 1 && replicas[0] == 0) {
+      model = m;
+      break;
+    }
+  }
+  ASSERT_GE(model, 0) << "packing left nothing exclusive on node 0";
+
+  fleet.FailNode(0);
+  const double before = fleet.outstanding_ms()[3];
+  ASSERT_TRUE(fleet.RecoverModelReplica(model, 0, 3));
+  // The survivor was charged the restore kernel; the dead node nothing.
+  EXPECT_GT(fleet.outstanding_ms()[3], before);
+  EXPECT_EQ(fleet.outstanding_ms()[0], 0.0);
+  EXPECT_EQ(fleet.placer().ReplicaNodes(model), std::vector<int>{3});
+  EXPECT_EQ(fleet.recoveries(), 1u);
+  ASSERT_EQ(fleet.recovery_log().size(), 1u);
+  EXPECT_NE(fleet.recovery_log()[0].find("recover"), std::string::npos);
+  sim.RunToCompletion();
+}
+
+// --- Controller-driven recovery ----------------------------------------------
+
+TEST(FaultTest, ControllerReplacesDeadReplicasOntoSurvivors) {
+  FleetFaultConfig config = OutageScenario(4, 4);
+  // Enough offered load that the outage actually catches requests in flight
+  // (at 400 rps the 16-node fleet is nearly idle at any instant).
+  config.cluster.aggregate_rps = 1500.0;
+  const FleetFaultResult result = RunFleetFaultScenario(config);
+
+  // The outage stranded replicas; the controller re-placed them.
+  EXPECT_GT(result.recoveries, 0u);
+  EXPECT_FALSE(result.recovery_log.empty());
+  EXPECT_EQ(result.zone_outages, 1u);
+  // Work was lost during the outage but service recovered: the post phase
+  // completes requests at a goodput close to the pre phase. Losses are
+  // attributed to the phase in which the node died, so the outage phase —
+  // which opens at the same instant the zone drops — carries them.
+  ASSERT_EQ(result.phases.size(), 3u);
+  EXPECT_GT(result.failed_requests, 0u);
+  EXPECT_GT(result.phases[1].failed, 0u);
+  EXPECT_GT(result.phases[0].goodput_ms_per_s, 0.0);
+  EXPECT_GE(result.phases[2].goodput_ms_per_s, 0.85 * result.phases[0].goodput_ms_per_s);
+}
+
+// --- Deterministic replay ----------------------------------------------------
+
+TEST(FaultReplayTest, ScheduleIsPureFunctionOfConfig) {
+  FaultScenarioConfig scenario;
+  scenario.seed = 5;
+  scenario.horizon = FromSeconds(10);
+  scenario.crashes_per_second = 3.0;
+  scenario.stragglers_per_second = 2.0;
+  scenario.zone_outages = {{1, FromSeconds(4), FromSeconds(1)}};
+  scenario.power_caps = {{2, FromSeconds(6), FromSeconds(2), 0.7}};
+
+  Simulator sim_a, sim_b;
+  FleetDispatcher fleet_a(&sim_a, ZonedConfig(4, 4));
+  FleetDispatcher fleet_b(&sim_b, ZonedConfig(4, 4));
+  FaultInjector injector_a(&sim_a, &fleet_a, scenario);
+  FaultInjector injector_b(&sim_b, &fleet_b, scenario);
+
+  const std::vector<std::string> lines = injector_a.ScheduleLines();
+  EXPECT_FALSE(lines.empty());
+  EXPECT_EQ(lines, injector_b.ScheduleLines());
+
+  scenario.seed = 6;
+  FaultInjector injector_c(&sim_a, &fleet_a, scenario);
+  EXPECT_NE(lines, injector_c.ScheduleLines());
+}
+
+TEST(FaultReplayTest, TraceAndRecoveryAreByteIdenticalAcrossRuns) {
+  FleetFaultConfig config = OutageScenario(4, 4);
+  config.faults.crashes_per_second = 1.0;
+  config.faults.crash_repair = FromMillis(700);
+
+  const FleetFaultResult a = RunFleetFaultScenario(config);
+  const FleetFaultResult b = RunFleetFaultScenario(config);
+
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.fault_trace, b.fault_trace);
+  EXPECT_EQ(a.recovery_log, b.recovery_log);
+  EXPECT_EQ(a.failed_requests, b.failed_requests);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_EQ(a.phases[i].p99_ms, b.phases[i].p99_ms);
+    EXPECT_EQ(a.phases[i].goodput_ms_per_s, b.phases[i].goodput_ms_per_s);
+    EXPECT_EQ(a.phases[i].failed, b.phases[i].failed);
+    EXPECT_EQ(a.phases[i].recoveries, b.phases[i].recoveries);
+  }
+}
+
+TEST(FaultReplayTest, SweepGridIsByteIdenticalAcrossJobs) {
+  // The bench's property at test scale: serialize every scenario's trace +
+  // phase metrics through SweepRunner at --jobs 1 and --jobs 4 and compare
+  // the byte streams.
+  const std::vector<std::string> scenarios = {"healthy", "crashes", "zone-outage"};
+  auto run_grid = [&scenarios](int jobs) {
+    SweepRunner runner(jobs);
+    std::vector<SweepPoint<std::string>> points;
+    for (const std::string& name : scenarios) {
+      points.push_back({name, [name] {
+                          FleetFaultConfig config = OutageScenario(2, 3);
+                          if (name == "healthy") {
+                            config.faults.zone_outages.clear();
+                          } else if (name == "crashes") {
+                            config.faults.zone_outages.clear();
+                            config.faults.crashes_per_second = 2.0;
+                            config.faults.crash_repair = FromMillis(600);
+                          }
+                          const FleetFaultResult r = RunFleetFaultScenario(config);
+                          std::string blob = name + "\n";
+                          for (const std::string& line : r.fault_trace) {
+                            blob += line + "\n";
+                          }
+                          for (const std::string& line : r.recovery_log) {
+                            blob += line + "\n";
+                          }
+                          for (const FaultPhaseStats& p : r.phases) {
+                            blob += p.name + " " + std::to_string(p.completed) + " " +
+                                    std::to_string(p.failed) + " " + std::to_string(p.p99_ms) +
+                                    " " + std::to_string(p.goodput_ms_per_s) + "\n";
+                          }
+                          return blob;
+                        }});
+    }
+    std::string all;
+    for (const std::string& blob : runner.Run(points)) {
+      all += blob;
+    }
+    return all;
+  };
+
+  const std::string serial = run_grid(1);
+  const std::string parallel = run_grid(4);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace lithos
