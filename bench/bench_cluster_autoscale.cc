@@ -55,7 +55,9 @@ int main(int argc, char** argv) {
       "Cluster autoscaling: scaling policy vs GPU-hours and energy per fleet-day",
       "Section 3 (Figs. 1, 4) — shedding the diurnal trough the static fleet idles through");
 
-  SweepRunner runner(ParseJobsArg(argc, argv));
+  const bench::BenchOptions opts = bench::ParseBenchOptions(argc, argv);
+  bench::NoteTraceUnsupported(opts, "bench_cluster_autoscale");
+  SweepRunner runner(opts.jobs);
   bench::JsonEmitter json("cluster_autoscale");
 
   // One flat grid: the three scaling policies, then the four control

@@ -86,8 +86,19 @@ int main(int argc, char** argv) {
       "Cluster fault tolerance: zone outage, crashes, stragglers at region scale",
       "ROADMAP region-scale item; PhoenixOS-style checkpoint/restore recovery");
 
-  SweepRunner runner(ParseJobsArg(argc, argv));
+  const bench::BenchOptions opts = bench::ParseBenchOptions(argc, argv);
+  SweepRunner runner(opts.jobs);
   bench::JsonEmitter json("cluster_faults");
+
+  // --trace records the model-affinity zone-outage point: cluster, control,
+  // and fault layers only (sim/engine records at 1024 nodes would flood the
+  // ring with heap churn nobody reads at fleet scale). One grid point owns
+  // the recorder, so the trace bytes are identical for any --jobs.
+  TraceRecorder trace(static_cast<size_t>(opts.trace_limit));
+  trace.SetLayerMask(TraceRecorder::LayerBit(TraceLayer::kCluster) |
+                     TraceRecorder::LayerBit(TraceLayer::kControl) |
+                     TraceRecorder::LayerBit(TraceLayer::kFault));
+  TraceRecorder* recorder = opts.trace_path.empty() ? nullptr : &trace;
 
   struct GridPoint {
     PlacementPolicy policy;
@@ -104,9 +115,13 @@ int main(int argc, char** argv) {
 
   std::vector<SweepPoint<FleetFaultResult>> points;
   for (const GridPoint& g : grid) {
-    points.push_back({PlacementPolicyName(g.policy) + "/" + g.scenario, [g] {
+    const bool traced =
+        g.policy == PlacementPolicy::kModelAffinity && g.scenario == "zone-outage";
+    TraceRecorder* point_trace = traced ? recorder : nullptr;
+    points.push_back({PlacementPolicyName(g.policy) + "/" + g.scenario, [g, point_trace] {
                         FleetFaultConfig config = BaseConfig(g.policy);
                         config.faults = Scenario(g.scenario);
+                        config.trace = point_trace;
                         return RunFleetFaultScenario(config);
                       }});
   }
@@ -161,14 +176,42 @@ int main(int argc, char** argv) {
               "controller re-places each stranded replica from its last checkpoint image onto\n"
               "a survivor (forced moves, never budget-capped) at the next control tick.\n");
 
-  std::printf("\nSimulated events across the grid: %llu\n",
-              static_cast<unsigned long long>(total_events));
+  // Registry phase snapshots of the headline point (model-affinity zone
+  // outage): every fleet/* counter as its per-phase window delta. The values
+  // derive only from sim state, so they gate like any deterministic metric.
+  for (size_t i = 0; i < grid.size(); ++i) {
+    if (grid[i].policy != PlacementPolicy::kModelAffinity ||
+        grid[i].scenario != "zone-outage") {
+      continue;
+    }
+    for (const MetricsRegistry::PhaseSnapshot& snap : results[i].metric_phases) {
+      for (const auto& [metric, value] : snap.values) {
+        std::string key = "affinity_zone_outage_" + snap.name + "_" + metric;
+        for (char& c : key) {
+          if (c == '/') {
+            c = '_';
+          }
+        }
+        json.Metric(key, value);
+      }
+    }
+  }
+
+  uint64_t total_scheduled = 0;
+  for (const FleetFaultResult& r : results) {
+    total_scheduled += r.sim.scheduled;
+  }
+  std::printf("\nSimulated events across the grid: %llu fired / %llu scheduled\n",
+              static_cast<unsigned long long>(total_events),
+              static_cast<unsigned long long>(total_scheduled));
   json.Metric("total_events_fired", static_cast<double>(total_events));
+  json.Metric("total_events_scheduled", static_cast<double>(total_scheduled));
   json.SetRun(runner.jobs(), runner.wall_seconds());
   json.WallMetric("sweep_wall_seconds", runner.wall_seconds());
   json.WallMetric("events_per_wall_second",
                   runner.wall_seconds() > 0 ? total_events / runner.wall_seconds() : 0.0);
   json.Write();
+  bench::WriteTraceIfRequested(trace, opts);
   runner.PrintSummary("cluster_faults");
   return 0;
 }

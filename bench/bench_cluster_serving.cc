@@ -47,7 +47,9 @@ int main(int argc, char** argv) {
       "Cluster serving: placement policy vs fleet utilization and GPU count",
       "Section 3 (Figs. 1, 4-6) — consolidating the 13-model fleet onto shared GPUs");
 
-  SweepRunner runner(ParseJobsArg(argc, argv));
+  const bench::BenchOptions opts = bench::ParseBenchOptions(argc, argv);
+  bench::NoteTraceUnsupported(opts, "bench_cluster_serving");
+  SweepRunner runner(opts.jobs);
   bench::JsonEmitter json("cluster_serving");
 
   // The full (policy x 1..13 nodes) grid; the serial bench explored a

@@ -35,8 +35,16 @@ int main(int argc, char** argv) {
   PrintHeader("Figures 13-15: Inference-only multitenancy (HP A + HP B + BE)",
               "Fig. 13 scatter, Fig. 14 goodput by app, Fig. 15 HP A tails");
 
-  SweepRunner runner(ParseJobsArg(argc, argv));
+  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  SweepRunner runner(opts.jobs);
   SoloCache solos;
+
+  // --trace records the first LithOS grid point with the full layer mask
+  // (event core + engine included: a single-GPU stack is small enough to
+  // keep everything). One point owns the recorder, so the trace bytes are
+  // identical for any --jobs.
+  TraceRecorder trace(static_cast<size_t>(opts.trace_limit));
+  TraceRecorder* recorder = opts.trace_path.empty() ? nullptr : &trace;
   const GpuSpec spec = GpuSpec::A100();
   std::map<SystemKind, SystemAgg> agg;
 
@@ -71,6 +79,10 @@ int main(int argc, char** argv) {
       std::vector<AppSpec> apps = {a, b};
       if (!no_be) {
         apps.push_back(c);
+      }
+      if (system == SystemKind::kLithos && recorder != nullptr) {
+        cfg.trace = recorder;
+        recorder = nullptr;  // first LithOS point only
       }
       points.push_back({combo.hp_a + "+" + combo.hp_b + "+" + combo.be + "/" +
                             SystemName(system),
@@ -177,6 +189,7 @@ int main(int argc, char** argv) {
   json.Metric("tgs_over_lithos_p99", mean_p99[SystemKind::kTgs] / mean_p99[SystemKind::kLithos]);
   json.WallMetric("sweep_wall_seconds", runner.wall_seconds());
   json.Write();
+  WriteTraceIfRequested(trace, opts);
   runner.PrintSummary("fig13_14_15");
   return 0;
 }

@@ -17,7 +17,9 @@ int main(int argc, char** argv) {
   PrintHeader("Figure 16: Hybrid inference/training multitenancy",
               "Fig. 16 — (a) P99 latency vs ideal, (b) aggregate throughput");
 
-  SweepRunner runner(ParseJobsArg(argc, argv));
+  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  NoteTraceUnsupported(opts, "bench_fig16_hybrid");
+  SweepRunner runner(opts.jobs);
   SoloCache solos;
   const GpuSpec spec = GpuSpec::A100();
 

@@ -4,7 +4,7 @@
 // (every kernel occupies the full device) and right-sized execution with
 // latency slip k = 1.1. Also reports the P99/throughput cost (§7.2: <4%).
 #include "bench/bench_util.h"
-#include "src/metrics/energy.h"
+#include "src/obs/energy.h"
 
 using namespace lithos;
 using namespace lithos::bench;

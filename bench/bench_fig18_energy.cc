@@ -3,7 +3,7 @@
 // DVFS policy (slip k = 1.1); savings compare energy per unit of completed
 // work. §7.3: up to 46% savings, mean 26%, for ~7% P99 cost.
 #include "bench/bench_util.h"
-#include "src/metrics/energy.h"
+#include "src/obs/energy.h"
 
 using namespace lithos;
 using namespace lithos::bench;

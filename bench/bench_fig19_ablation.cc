@@ -15,7 +15,9 @@ int main(int argc, char** argv) {
   PrintHeader("Figure 19: Feature breakdown for inference-training stacking",
               "Fig. 19 — +TPC scheduling: 1.38x ideal; +atomization: 1.19x");
 
-  SweepRunner runner(ParseJobsArg(argc, argv));
+  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  NoteTraceUnsupported(opts, "bench_fig19_ablation");
+  SweepRunner runner(opts.jobs);
   SoloCache solos;
   const GpuSpec spec = GpuSpec::A100();
   const auto hp_models = HybridHpModels();

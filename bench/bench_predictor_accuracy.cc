@@ -14,7 +14,9 @@ int main(int argc, char** argv) {
   PrintHeader("Section 7.4: Latency predictor accuracy",
               "HP misprediction 0.9% / 0.38%; P99 error 49us / 31us");
 
-  SweepRunner runner(ParseJobsArg(argc, argv));
+  const BenchOptions opts = ParseBenchOptions(argc, argv);
+  NoteTraceUnsupported(opts, "bench_predictor_accuracy");
+  SweepRunner runner(opts.jobs);
 
   std::vector<SweepPoint<StackingResult>> points;
   {

@@ -20,6 +20,8 @@
 #include "src/autoscale/fleet_controller.h"
 #include "src/common/table.h"
 #include "src/experiments/harness.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
 namespace legacy {
@@ -140,6 +142,23 @@ double RingEventsPerSec(int64_t total, int ring) {
   return static_cast<double>(fired) / SecondsSince(t0);
 }
 
+// The same ring with a TraceRecorder attached: every schedule and fire
+// appends a 32-byte record into a preallocated ring buffer, so this measures
+// the *enabled* tracing cost (the disabled path is the nullptr branch the
+// plain run above already pays). The traced/untraced ratio is
+// machine-stable; CI gates it through the wall_metrics baseline.
+double RingEventsPerSecTraced(int64_t total, int ring, TraceRecorder* trace) {
+  Simulator sim;
+  sim.SetTrace(trace);
+  int64_t fired = 0;
+  for (int i = 0; i < ring; ++i) {
+    sim.ScheduleAfter(i + 1, RingTick<Simulator>{&sim, &fired, ring, total});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.RunToCompletion();
+  return static_cast<double>(fired) / SecondsSince(t0);
+}
+
 // --- Micro 2: cancel/reschedule churn ---------------------------------------
 // `pending` events parked at a horizon; `ops` operations each move one event
 // to a new timestamp — the engine's checkpoint/reschedule pattern. The legacy
@@ -200,7 +219,7 @@ double ChurnReschedulePerSec(int64_t ops, int pending) {
 
 // --- End-to-end scenarios ----------------------------------------------------
 
-StackingResult RunStackingScenario() {
+FleetStackingResult RunStackingScenario() {
   StackingConfig cfg;
   cfg.system = SystemKind::kLithos;
   cfg.warmup = bench::kWarmup;
@@ -210,7 +229,7 @@ StackingResult RunStackingScenario() {
   AppSpec b = bench::MakeHpApp("Llama 3", AppRole::kHpThroughput);
   AppSpec be = bench::MakeBeInferenceApp("GPT-J");
   AssignInferenceOnlyQuotas(cfg.system, spec, &a, &b, &be);
-  return RunStacking(cfg, {a, b, be});
+  return RunStackingFleet(cfg, {a, b, be}, /*num_nodes=*/1);
 }
 
 AutoscaleResult RunAutoscaleScenario() {
@@ -256,11 +275,12 @@ bool SameAutoscale(const AutoscaleResult& x, const AutoscaleResult& y) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::PrintHeader(
       "Event-core throughput: slab/d-ary-heap simulator vs pre-PR core",
       "infrastructure for every figure; events/sec gates scenario campaign size");
 
+  const bench::BenchOptions bench_opts = bench::ParseBenchOptions(argc, argv);
   bench::JsonEmitter json("sim_core");
 
   // --- Micro -----------------------------------------------------------------
@@ -275,6 +295,10 @@ int main() {
 
   const double ring_new = RingEventsPerSec<Simulator>(kRingTotal, kRingSize);
   const double ring_legacy = RingEventsPerSec<legacy::Simulator>(kRingTotal, kRingSize);
+  // Ring recorder sized to one segment: appends stay allocation-free, the
+  // recorder keeps the last 64K records (--trace writes them out).
+  TraceRecorder ring_trace(TraceRecorder::kSegmentRecords);
+  const double ring_traced = RingEventsPerSecTraced(kRingTotal, kRingSize, &ring_trace);
   const double churn_new_cancel = ChurnCancelReinsertPerSec<Simulator>(kChurnOps, kChurnPending);
   const double churn_new_resched = ChurnReschedulePerSec(kChurnOps, kChurnPending);
   const double churn_legacy =
@@ -292,11 +316,18 @@ int main() {
                 Table::Num(churn_new_resched / 1e6, 2), Table::Num(churn_speedup, 2)});
   micro.Print();
 
+  const double ring_traced_fraction = ring_new > 0 ? ring_traced / ring_new : 0.0;
+  std::printf("\nTraced ring (binary recorder attached, %zu-record ring): %.2f Mev/s "
+              "(%.0f%% of untraced)\n",
+              TraceRecorder::kSegmentRecords, ring_traced / 1e6, 100 * ring_traced_fraction);
+
   // Throughput numbers depend on the machine's wall clock, so they go in the
   // jobs-gated wall_metrics section (this bench is always a jobs=1 run).
   json.WallMetric("ring_events_per_sec_new", ring_new);
   json.WallMetric("ring_events_per_sec_legacy", ring_legacy);
   json.WallMetric("ring_speedup", ring_speedup);
+  json.WallMetric("ring_events_per_sec_traced", ring_traced);
+  json.WallMetric("ring_traced_fraction", ring_traced_fraction);
   json.WallMetric("churn_events_per_sec_new_cancel", churn_new_cancel);
   json.WallMetric("churn_events_per_sec_new_reschedule", churn_new_resched);
   json.WallMetric("churn_events_per_sec_legacy", churn_legacy);
@@ -307,12 +338,12 @@ int main() {
   std::printf("\nEnd-to-end scenario wall-clock (same seed run twice; metrics must be identical)\n");
 
   auto t0 = std::chrono::steady_clock::now();
-  const StackingResult stack1 = RunStackingScenario();
+  const FleetStackingResult stack1 = RunStackingScenario();
   const double stack_ms_1 = SecondsSince(t0) * 1e3;
   t0 = std::chrono::steady_clock::now();
-  const StackingResult stack2 = RunStackingScenario();
+  const FleetStackingResult stack2 = RunStackingScenario();
   const double stack_ms = std::min(stack_ms_1, SecondsSince(t0) * 1e3);
-  const bool stack_same = SameStacking(stack1, stack2);
+  const bool stack_same = SameStacking(stack1.per_node[0], stack2.per_node[0]);
 
   t0 = std::chrono::steady_clock::now();
   const AutoscaleResult fleet1 = RunAutoscaleScenario();
@@ -324,7 +355,8 @@ int main() {
 
   Table e2e({"scenario", "wall ms", "deterministic", "headline"});
   char headline[96];
-  std::snprintf(headline, sizeof(headline), "HP A p99 %.2f ms", stack1.apps[0].p99_ms);
+  std::snprintf(headline, sizeof(headline), "HP A p99 %.2f ms",
+                stack1.per_node[0].apps[0].p99_ms);
   e2e.AddRow({"inference stacking (LithOS)", Table::Num(stack_ms, 1),
               stack_same ? "yes" : "NO", headline});
   std::snprintf(headline, sizeof(headline), "%.1f GPU-h/day, p99 %.2f ms",
@@ -335,13 +367,36 @@ int main() {
 
   json.WallMetric("stacking_wall_ms", stack_ms);
   json.Metric("stacking_deterministic", stack_same ? 1 : 0);
-  json.Metric("stacking_hp_a_p99_ms", stack1.apps[0].p99_ms);
+  json.Metric("stacking_hp_a_p99_ms", stack1.per_node[0].apps[0].p99_ms);
   json.WallMetric("autoscale_wall_ms", fleet_ms);
   json.Metric("autoscale_deterministic", fleet_same ? 1 : 0);
   json.Metric("autoscale_gpu_hours_per_day", fleet1.gpu_hours_per_day);
   json.Metric("autoscale_p99_ms", fleet1.cluster.p99_ms);
   json.Metric("autoscale_joules_per_day", fleet1.joules_per_day);
 
+  // Event-core work done by the two scenarios, routed through the registry
+  // so the JSON carries the simulator's schedule/cancel/reschedule counters
+  // (deterministic: pure functions of the seeds).
+  MetricsRegistry registry;
+  registry.counter("stacking/events_scheduled").Inc(stack1.sim.scheduled);
+  registry.counter("stacking/events_fired").Inc(stack1.sim.fired);
+  registry.counter("stacking/events_canceled").Inc(stack1.sim.canceled);
+  registry.counter("stacking/events_rescheduled").Inc(stack1.sim.rescheduled);
+  registry.counter("autoscale/events_scheduled").Inc(fleet1.sim.scheduled);
+  registry.counter("autoscale/events_fired").Inc(fleet1.sim.fired);
+  registry.counter("autoscale/events_canceled").Inc(fleet1.sim.canceled);
+  registry.counter("autoscale/events_rescheduled").Inc(fleet1.sim.rescheduled);
+  for (const auto& [name, value] : registry.Rows()) {
+    std::string key = name;
+    for (char& c : key) {
+      if (c == '/') {
+        c = '_';
+      }
+    }
+    json.Metric(key, value);
+  }
+
   json.Write();
+  bench::WriteTraceIfRequested(ring_trace, bench_opts);
   return (stack_same && fleet_same) ? 0 : 1;
 }

@@ -17,8 +17,75 @@
 #include "src/common/table.h"
 #include "src/experiments/harness.h"
 #include "src/experiments/sweep.h"
+#include "src/obs/trace.h"
 
 namespace lithos::bench {
+
+// --- Shared bench flags -------------------------------------------------------
+
+// Every bench binary accepts the same flag set, parsed once up front:
+//   --jobs N | --jobs=N | -j N    sweep worker count (0 = $LITHOS_JOBS / hw)
+//   --trace=PATH | --trace PATH   write a binary trace (src/obs/trace.h)
+//   --trace-limit=N               ring capacity in records; 0 = unbounded
+//                                 segment mode (default 1M records = 32 MiB)
+// Unknown flags are ignored so benches can add their own on top.
+struct BenchOptions {
+  int jobs = 0;
+  std::string trace_path;            // empty = tracing disabled
+  long long trace_limit = 1 << 20;   // records retained in ring mode
+};
+
+inline BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions opts;
+  opts.jobs = ParseJobsArg(argc, argv);
+  auto parse_limit = [&opts](const char* flag, const char* value) {
+    char* end = nullptr;
+    const long long limit = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || limit < 0) {
+      std::fprintf(stderr,
+                   "warning: ignoring '%s %s' (expected a non-negative integer)\n",
+                   flag, value);
+      return;
+    }
+    opts.trace_limit = limit;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      opts.trace_path = arg.substr(8);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      opts.trace_path = argv[++i];
+    } else if (arg.rfind("--trace-limit=", 0) == 0) {
+      parse_limit("--trace-limit=", arg.c_str() + 14);
+    } else if (arg == "--trace-limit" && i + 1 < argc) {
+      parse_limit("--trace-limit", argv[++i]);
+    }
+  }
+  return opts;
+}
+
+// Writes the recorder to opts.trace_path with a stderr notice (stdout stays
+// the byte-comparable surface). No-op when --trace was not given.
+inline void WriteTraceIfRequested(const TraceRecorder& trace, const BenchOptions& opts) {
+  if (opts.trace_path.empty()) {
+    return;
+  }
+  if (trace.WriteFile(opts.trace_path)) {
+    std::fprintf(stderr, "wrote %s (%zu records retained, %llu appended, %llu dropped)\n",
+                 opts.trace_path.c_str(), trace.size(),
+                 static_cast<unsigned long long>(trace.total()),
+                 static_cast<unsigned long long>(trace.dropped()));
+  } else {
+    std::fprintf(stderr, "note: could not write %s\n", opts.trace_path.c_str());
+  }
+}
+
+// For benches that accept the shared flags but do not record traces.
+inline void NoteTraceUnsupported(const BenchOptions& opts, const char* bench) {
+  if (!opts.trace_path.empty()) {
+    std::fprintf(stderr, "note: %s does not record traces; --trace ignored\n", bench);
+  }
+}
 
 // Measurement windows: long enough for stable percentiles, short enough that
 // the full sweeps finish in minutes.

@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "src/experiments/harness.h"
-#include "src/metrics/energy.h"
+#include "src/obs/energy.h"
 
 using namespace lithos;
 

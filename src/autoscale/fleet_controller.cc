@@ -6,6 +6,7 @@
 
 #include "src/cluster/placement.h"
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace lithos {
 
@@ -111,6 +112,10 @@ bool FleetController::ApplyLifecycle(int desired) {
       if (states_[n] == NodePower::kPoweredOff) {
         dispatcher_->PowerGateNode(n, false);
         ++power_ons_;
+        if (trace_ != nullptr) {
+          trace_->Append(sim_->Now(), TraceLayer::kControl, TraceKind::kPowerOn,
+                         n, dispatcher_->ZoneOfNode(n), -1, 0);
+        }
       }
       if (states_[n] != NodePower::kActive) {
         states_[n] = NodePower::kActive;
@@ -121,6 +126,10 @@ bool FleetController::ApplyLifecycle(int desired) {
       states_[n] = NodePower::kDraining;
       dispatcher_->SetNodeActive(n, false);
       changed = true;
+      if (trace_ != nullptr) {
+        trace_->Append(sim_->Now(), TraceLayer::kControl, TraceKind::kDrainBegin,
+                       n, dispatcher_->ZoneOfNode(n), -1, 0);
+      }
     }
   }
   return changed;
@@ -229,6 +238,10 @@ void FleetController::CompleteDrains() {
       dispatcher_->PowerGateNode(node, true);
       states_[n] = NodePower::kPoweredOff;
       ++power_offs_;
+      if (trace_ != nullptr) {
+        trace_->Append(sim_->Now(), TraceLayer::kControl, TraceKind::kPowerOff,
+                       node, dispatcher_->ZoneOfNode(node), -1, 0);
+      }
     }
   }
 }
@@ -255,6 +268,10 @@ void FleetController::Tick(TimeNs until) {
     below_ticks_ = 0;
   }
 
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kControl, TraceKind::kScaleTarget,
+                   -1, -1, desired, provisioned);
+  }
   const bool changed = ApplyLifecycle(desired);
   // Re-pack when the active set moved, when replicas are stranded on
   // non-active nodes (capped migrations retry next tick), or when the fleet
@@ -302,6 +319,7 @@ AutoscaleResult RunClusterAutoscale(const AutoscaleConfig& config) {
   AutoscaleResult result;
   result.scaling = config.scaling;
   result.cluster = dispatcher.Collect(config.cluster.duration);
+  result.sim = sim.counters();
 
   const double secs = ToSeconds(config.cluster.duration);
   result.days = config.cluster.seconds_per_day > 0 ? secs / config.cluster.seconds_per_day : 1.0;

@@ -121,6 +121,11 @@ class FleetController {
   uint64_t power_offs() const { return power_offs_; }
   uint64_t ticks() const { return ticks_; }
 
+  // Attaches a binary trace recorder (nullptr detaches): every scaling
+  // decision (desired vs provisioned nodes), drain begin, and power
+  // off/on appends a TraceLayer::kControl record.
+  void SetTrace(TraceRecorder* trace) { trace_ = trace; }
+
  private:
   void Tick(TimeNs until);
   FleetSnapshot BuildSnapshot() const;
@@ -155,6 +160,7 @@ class FleetController {
   uint64_t power_ons_ = 0;
   uint64_t power_offs_ = 0;
   uint64_t ticks_ = 0;
+  TraceRecorder* trace_ = nullptr;
 };
 
 // --- Headline experiment ------------------------------------------------------
@@ -162,6 +168,7 @@ class FleetController {
 struct AutoscaleResult {
   ScalingPolicyKind scaling = ScalingPolicyKind::kStaticPeak;
   ClusterResult cluster;            // measurement-window fleet metrics
+  SimCounters sim;                  // event-core work done by the whole run
 
   double days = 0;                  // fleet-days covered by the window
   double mean_powered_on = 0;       // time-averaged powered-on node count

@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/gpu/kernel.h"
+#include "src/obs/trace.h"
 
 namespace lithos {
 
@@ -90,6 +91,18 @@ ClusterDispatcher::ClusterDispatcher(Simulator* sim, const ClusterConfig& config
   }
   outstanding_ms_.assign(config_.num_nodes, 0.0);
 
+  // Fleet-level accounting as named registry instruments; cache the pointers
+  // once so the dispatch/completion hot paths are plain increments.
+  ctr_dispatched_ = &metrics_.counter("fleet/dispatched");
+  ctr_completed_ = &metrics_.counter("fleet/completed");
+  ctr_failed_ = &metrics_.counter("fleet/failed");
+  ctr_recoveries_ = &metrics_.counter("fleet/recoveries");
+  ctr_migrations_ = &metrics_.counter("fleet/migrations");
+  g_completed_request_ms_ = &metrics_.gauge("fleet/completed_request_ms");
+  g_dispatched_request_ms_ = &metrics_.gauge("fleet/dispatched_request_ms");
+  g_migration_gpu_ms_ = &metrics_.gauge("fleet/migration_gpu_ms");
+  hist_latency_ms_ = &metrics_.histogram("fleet/latency_ms");
+
   // Peak of the diurnal curve, used as the thinning envelope for arrivals.
   peak_norm_ = 1.0;
   if (config_.seconds_per_day > 0) {
@@ -167,16 +180,25 @@ void ClusterDispatcher::StartArrivals(TimeNs until) {
 }
 
 int ClusterDispatcher::Dispatch(int model_index) {
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kArrival, -1,
+                   -1, model_index,
+                   static_cast<int64_t>(fleet_.models()[model_index].cost_ms * 1000.0));
+  }
   const int node = placer_->Place(model_index, outstanding_ms_);
   LITHOS_CHECK_GE(node, 0);
   LITHOS_CHECK_LT(node, config_.num_nodes);
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kPlacement,
+                   node, zone_topo_.ZoneOf(node), model_index, 0);
+  }
 
   NodeState& state = node_state_[node];
   const FleetModel& model = fleet_.models()[model_index];
   const bool measured = sim_->Now() >= warmup_end_;
-  ++dispatched_;
+  ctr_dispatched_->Inc();
   ++state.dispatched;
-  dispatched_request_ms_ += model.cost_ms;
+  g_dispatched_request_ms_->Add(model.cost_ms);
   if (measured) {
     ++state.dispatched_measured;
   }
@@ -185,9 +207,13 @@ int ClusterDispatcher::Dispatch(int model_index) {
   // (its last-resort fallback). A dead host cannot execute anything: the
   // request fails fast at admission instead of launching kernels on it.
   if (state.failed) {
-    ++failed_;
+    ctr_failed_->Inc();
     if (measured) {
       ++state.failed_measured;
+    }
+    if (trace_ != nullptr) {
+      trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kDispatchFail,
+                     node, zone_topo_.ZoneOf(node), model_index, 0);
     }
     return node;
   }
@@ -217,7 +243,8 @@ int ClusterDispatcher::Dispatch(int model_index) {
   const TimeNs arrival = sim_->Now();
   const double request_ms = model.cost_ms;
   const uint64_t epoch = state.epoch;
-  driver->CuStreamAddCallback(stream, [this, node, arrival, cost_ms, request_ms, epoch] {
+  driver->CuStreamAddCallback(stream, [this, node, model_index, arrival, cost_ms, request_ms,
+                                       epoch] {
     NodeState& state = node_state_[node];
     if (state.epoch != epoch) {
       // The node crashed after this request was dispatched: the result is
@@ -225,18 +252,24 @@ int ClusterDispatcher::Dispatch(int model_index) {
       // latency samples (gated on arrival time), a loss is an operational
       // event attributed to the phase in which the node died — queued work
       // admitted before the window still fails *now*.
-      ++failed_;
+      ctr_failed_->Inc();
       if (sim_->Now() >= warmup_end_) {
         ++state.failed_measured;
+      }
+      if (trace_ != nullptr) {
+        trace_->Append(sim_->Now(), TraceLayer::kCluster,
+                       TraceKind::kOrphanedCompletion, node,
+                       zone_topo_.ZoneOf(node), model_index,
+                       sim_->Now() - arrival);
       }
       return;
     }
     AddOutstanding(node, -cost_ms);
-    ++completed_;
+    ctr_completed_->Inc();
     if (arrival >= warmup_end_) {
       ++state.completed_measured;
-      latency_ms_.Add(ToMillis(sim_->Now() - arrival));
-      completed_request_ms_ += request_ms;
+      hist_latency_ms_->Add(ToMillis(sim_->Now() - arrival));
+      g_completed_request_ms_->Add(request_ms);
     }
   });
   return node;
@@ -254,11 +287,11 @@ void ClusterDispatcher::BeginMeasurement() {
   // that arrived earlier stay excluded (their completion callbacks compare
   // against warmup_end_), and everything already accumulated is discarded.
   warmup_end_ = sim_->Now();
-  latency_ms_.Clear();
-  completed_request_ms_ = 0;
-  migrations_ = 0;
-  migration_gpu_ms_ = 0;
-  recoveries_ = 0;
+  hist_latency_ms_->Clear();
+  g_completed_request_ms_->Reset();
+  ctr_migrations_->Reset();
+  g_migration_gpu_ms_->Reset();
+  ctr_recoveries_->Reset();
   for (int n = 0; n < config_.num_nodes; ++n) {
     NodeState& state = node_state_[n];
     state.dispatched_measured = 0;
@@ -303,7 +336,7 @@ void ClusterDispatcher::ChargeMigrationKernel(int node, int model_index,
   driver->CuLaunchKernel(stream, kernel);
   AddOutstanding(node, half_ms);
   if (sim_->Now() >= warmup_end_) {
-    migration_gpu_ms_ += half_ms;
+    g_migration_gpu_ms_->Add(half_ms);
   }
   const uint64_t epoch = node_state_[node].epoch;
   driver->CuStreamAddCallback(stream, [this, node, half_ms, epoch] {
@@ -325,9 +358,13 @@ bool ClusterDispatcher::MigrateModel(int model_index, int from, int to) {
   // in-flight requests on `from`, and the restore serialises ahead of the
   // first redirected request on `to`.
   if (sim_->Now() >= warmup_end_) {
-    ++migrations_;
+    ctr_migrations_->Inc();
     ++node_state_[from].migrations_out;
     ++node_state_[to].migrations_in;
+  }
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kMigration,
+                   to, zone_topo_.ZoneOf(to), model_index, from);
   }
   ChargeMigrationKernel(from, model_index, &checkpoint_kernels_[model_index]);
   ChargeMigrationKernel(to, model_index, &restore_kernels_[model_index]);
@@ -368,7 +405,14 @@ void ClusterDispatcher::FailNode(int node) {
   }
   state.failed = true;
   ++state.epoch;  // orphans every in-flight completion callback
+  state.failed_at = sim_->Now();
   ++failed_node_count_;
+  if (trace_ != nullptr) {
+    // payload = queued GPU-time written off, in ns.
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kNodeCrash,
+                   node, zone_topo_.ZoneOf(node), -1,
+                   static_cast<int64_t>(outstanding_ms_[node] * 1e6));
+  }
   // Device memory dies with the host: a revived node cold-starts its first
   // request (model-switch charge) like any fresh placement.
   state.last_model = -1;
@@ -385,6 +429,12 @@ void ClusterDispatcher::ReviveNode(int node) {
   }
   state.failed = false;
   --failed_node_count_;
+  if (trace_ != nullptr) {
+    // payload = how long the node was down, closing the crash span.
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kNodeRevive,
+                   node, zone_topo_.ZoneOf(node), -1,
+                   sim_->Now() - state.failed_at);
+  }
   // Deliberately *not* re-activated here: the repaired host rejoins the
   // pool the same way a trough-gated node does — when the control plane
   // decides it is needed.
@@ -410,9 +460,13 @@ bool ClusterDispatcher::RecoverModelReplica(int model_index, int from, int to) {
   if (from == to || !placer_->MoveReplica(model_index, from, to)) {
     return false;
   }
-  ++recoveries_;
+  ctr_recoveries_->Inc();
   if (sim_->Now() >= warmup_end_) {
     ++node_state_[to].migrations_in;
+  }
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kRecoverReplica,
+                   to, zone_topo_.ZoneOf(to), model_index, from);
   }
   // Restore-only: the checkpoint half is sunk cost (PhoenixOS restores from
   // the latest checkpoint image; the dead node cannot run a kernel).
@@ -426,6 +480,10 @@ bool ClusterDispatcher::DropLostReplica(int model_index, int node) {
   if (!placer_->RemoveReplica(model_index, node)) {
     return false;
   }
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kDropLostReplica,
+                   node, zone_topo_.ZoneOf(node), model_index, 0);
+  }
   AppendRecoveryLog("drop", model_index, node, node);
   return true;
 }
@@ -434,13 +492,14 @@ ClusterResult ClusterDispatcher::Collect(DurationNs measured) {
   ClusterResult result;
   result.policy = config_.policy;
   result.num_nodes = config_.num_nodes;
-  result.mean_ms = latency_ms_.Mean();
-  latency_ms_.Finalize();
-  result.p50_ms = latency_ms_.Percentile(50);
-  result.p99_ms = latency_ms_.P99();
+  PercentileDigest& latency_ms = hist_latency_ms_->digest();
+  result.mean_ms = latency_ms.Mean();
+  latency_ms.Finalize();
+  result.p50_ms = latency_ms.Percentile(50);
+  result.p99_ms = latency_ms.P99();
   const double secs = ToSeconds(measured);
   result.throughput_rps =
-      secs > 0 ? static_cast<double>(latency_ms_.count()) / secs : 0.0;
+      secs > 0 ? static_cast<double>(latency_ms.count()) / secs : 0.0;
 
   double busy_total = 0;
   double capacity_total = 0;
@@ -481,20 +540,28 @@ ClusterResult ClusterDispatcher::Collect(DurationNs measured) {
     result.total_model_switches += ns.model_switches;
     result.nodes.push_back(ns);
   }
-  result.recoveries = recoveries_;
+  result.recoveries = ctr_recoveries_->value();
   result.fleet_utilization = capacity_total > 0 ? busy_total / capacity_total : 0.0;
   result.used_utilization = capacity_used > 0 ? busy_used / capacity_used : 0.0;
   // Serial-equivalent request GPU-ms over the used pool's GPU-ms.
+  const double completed_request_ms = g_completed_request_ms_->value();
   const double used_gpu_ms = result.nodes_used * secs * 1000.0;
-  result.goodput_utilization = used_gpu_ms > 0 ? completed_request_ms_ / used_gpu_ms : 0.0;
-  result.completed_request_gpu_ms = completed_request_ms_;
+  result.goodput_utilization = used_gpu_ms > 0 ? completed_request_ms / used_gpu_ms : 0.0;
+  result.completed_request_gpu_ms = completed_request_ms;
   result.gpus_saved_vs_dedicated =
       static_cast<int>(fleet_.models().size()) - result.nodes_used;
   result.mean_models_per_node =
       result.nodes_used > 0 ? models_on_used / result.nodes_used : 0.0;
-  result.migrations = migrations_;
-  result.migration_gpu_ms = migration_gpu_ms_;
+  result.migrations = ctr_migrations_->value();
+  result.migration_gpu_ms = g_migration_gpu_ms_->value();
   return result;
+}
+
+void ClusterDispatcher::SetTrace(TraceRecorder* trace) {
+  trace_ = trace;
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    nodes_[n]->engine()->SetTrace(trace, n, zone_topo_.ZoneOf(n));
+  }
 }
 
 ClusterResult RunClusterServing(const ClusterConfig& config) {

@@ -36,6 +36,7 @@
 #include "src/experiments/harness.h"
 #include "src/gpu/execution_engine.h"
 #include "src/gpu/gpu_spec.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/workloads/fleet.h"
 
@@ -196,8 +197,8 @@ class ClusterDispatcher {
   // placement policies see).
   const std::vector<double>& outstanding_ms() const { return outstanding_ms_; }
 
-  uint64_t dispatched() const { return dispatched_; }
-  uint64_t completed() const { return completed_; }
+  uint64_t dispatched() const { return ctr_dispatched_->value(); }
+  uint64_t completed() const { return ctr_completed_->value(); }
   uint64_t dispatched_to(int node) const { return node_state_[node].dispatched; }
 
   // Pre-arms the warm-up cutoff: samples and counters for requests arriving
@@ -236,7 +237,7 @@ class ClusterDispatcher {
   // Cumulative GPU-ms of request work dispatched since construction,
   // arrival-weighted. The reactive policy differences this between control
   // periods to estimate what actually arrived.
-  double dispatched_request_ms() const { return dispatched_request_ms_; }
+  double dispatched_request_ms() const { return g_dispatched_request_ms_->value(); }
 
   // Takes a node out of (or back into) the placement rotation. An inactive
   // node receives no new arrivals but keeps draining queued work.
@@ -263,7 +264,7 @@ class ClusterDispatcher {
   bool AddModelReplica(int model_index, int node);
   bool RemoveModelReplica(int model_index, int node);
 
-  uint64_t migrations() const { return migrations_; }
+  uint64_t migrations() const { return ctr_migrations_->value(); }
 
   // --- Zone topology (region-scale hierarchy) -------------------------------
 
@@ -295,7 +296,7 @@ class ClusterDispatcher {
   int failed_node_count() const { return failed_node_count_; }
 
   // Requests lost to crashes (lifetime; per-window counts come via Collect).
-  uint64_t failed() const { return failed_; }
+  uint64_t failed() const { return ctr_failed_->value(); }
 
   // Crash recovery: re-homes a replica stranded on crashed node `from` onto
   // healthy node `to`, charging only the restore kernel on `to` — the
@@ -309,12 +310,29 @@ class ClusterDispatcher {
   // target packing wants fewer replicas than survived the crash.
   bool DropLostReplica(int model_index, int node);
 
-  uint64_t recoveries() const { return recoveries_; }
+  uint64_t recoveries() const { return ctr_recoveries_->value(); }
 
   // Append-only, deterministically formatted record of every recovery
   // action (RecoverModelReplica / DropLostReplica) since construction; the
   // fault-replay tests compare it byte-for-byte across runs.
   const std::vector<std::string>& recovery_log() const { return recovery_log_; }
+
+  // --- Observability --------------------------------------------------------
+
+  // The registry behind every fleet-level count above: dispatch/complete/
+  // fail/recovery counters, request-GPU-ms gauges, and the latency histogram
+  // all live here as named instruments (the accessors read through cached
+  // pointers). Scenario drivers bracket measurement windows with
+  // BeginPhase()/EndPhase() to get per-phase snapshots, and benches can emit
+  // Rows() straight into JsonEmitter.
+  MetricsRegistry& metrics() { return metrics_; }
+
+  // Attaches a binary trace recorder (nullptr detaches) to the dispatcher
+  // and to every node's engine (tagged with its node/zone ids): arrivals,
+  // placement decisions, fast-fail admissions, crashes, orphaned
+  // completions, recoveries, and migrations append TraceLayer::kCluster
+  // records. See docs/observability.md.
+  void SetTrace(TraceRecorder* trace);
 
  private:
   struct NodeState {
@@ -326,6 +344,7 @@ class ClusterDispatcher {
     // discounted as failed.
     bool failed = false;
     uint64_t epoch = 0;
+    TimeNs failed_at = 0;                // crash instant (for down-span traces)
     // Measurement-window counters reported through ClusterNodeStats.
     uint64_t dispatched_measured = 0;
     uint64_t completed_measured = 0;
@@ -372,18 +391,25 @@ class ClusterDispatcher {
   std::vector<Rng> arrival_rng_;         // one deterministic stream per model
   double peak_norm_ = 1.0;               // diurnal peak, thinning envelope
 
-  uint64_t dispatched_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t failed_ = 0;               // requests lost to node crashes (lifetime)
+  // Fleet-level accounting lives in the registry as named instruments; the
+  // pointers below are the cached hot-path handles (stable for the
+  // registry's lifetime). Counter/gauge semantics mirror the old members:
+  // dispatched/completed/failed and dispatched_request_ms are lifetime,
+  // the rest reset when BeginMeasurement() opens a window.
+  MetricsRegistry metrics_;
+  Counter* ctr_dispatched_ = nullptr;
+  Counter* ctr_completed_ = nullptr;
+  Counter* ctr_failed_ = nullptr;      // requests lost to node crashes
+  Counter* ctr_recoveries_ = nullptr;  // replica recoveries in the window
+  Counter* ctr_migrations_ = nullptr;
+  Gauge* g_completed_request_ms_ = nullptr;   // request GPU-ms finished after warm-up
+  Gauge* g_dispatched_request_ms_ = nullptr;  // cumulative arrival-weighted request GPU-ms
+  Gauge* g_migration_gpu_ms_ = nullptr;
+  Histogram* hist_latency_ms_ = nullptr;
   int failed_node_count_ = 0;
-  uint64_t recoveries_ = 0;           // replica recoveries in the window
   std::vector<std::string> recovery_log_;
-  double completed_request_ms_ = 0;   // request GPU-ms finished after warm-up
-  double dispatched_request_ms_ = 0;  // cumulative arrival-weighted request GPU-ms
-  uint64_t migrations_ = 0;
-  double migration_gpu_ms_ = 0;
   TimeNs warmup_end_ = 0;
-  PercentileDigest latency_ms_;
+  TraceRecorder* trace_ = nullptr;
 };
 
 // Builds the full cluster stack, runs warmup + duration, and collects fleet

@@ -158,12 +158,14 @@ FleetStackingResult RunStackingFleet(const StackingConfig& config,
                                      const std::vector<AppSpec>& apps, int num_nodes) {
   LITHOS_CHECK_GT(num_nodes, 0);
   Simulator sim;
+  sim.SetTrace(config.trace);
   const TimeNs horizon = config.warmup + config.duration;
 
   // One full per-GPU stack per node; app i lands on node i % num_nodes.
   std::vector<std::unique_ptr<GpuNode>> nodes;
   for (int n = 0; n < num_nodes; ++n) {
     nodes.push_back(std::make_unique<GpuNode>(&sim, n, config.spec, config.system, config.lithos));
+    nodes.back()->engine()->SetTrace(config.trace, n, /*zone=*/-1);
   }
 
   std::vector<ServingApp> serving(apps.size());
@@ -241,6 +243,7 @@ FleetStackingResult RunStackingFleet(const StackingConfig& config,
     fleet.per_node.push_back(std::move(result));
   }
   fleet.fleet_utilization = capacity > 0 ? busy / capacity : 0.0;
+  fleet.sim = sim.counters();
   return fleet;
 }
 

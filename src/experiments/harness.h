@@ -112,6 +112,11 @@ struct StackingConfig {
   DurationNs warmup = FromSeconds(2);
   DurationNs duration = FromSeconds(10);  // measured window after warmup
   uint64_t seed = 42;
+
+  // Optional binary trace sink: the simulator core and every node engine
+  // append to it (records derive only from sim state, so the bytes are
+  // identical across runs and `--jobs` values for the same config).
+  TraceRecorder* trace = nullptr;
 };
 
 // Runs a multi-tenant stacking scenario and returns per-app metrics.
@@ -126,6 +131,7 @@ struct FleetStackingResult {
   std::vector<StackingResult> per_node;
   // Busy TPC-seconds over capacity, summed across the whole fleet.
   double fleet_utilization = 0;
+  SimCounters sim;  // event-core work done by the whole run
 };
 
 FleetStackingResult RunStackingFleet(const StackingConfig& config,

@@ -1,5 +1,6 @@
 #include "src/experiments/sweep.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -79,6 +80,9 @@ void SweepRunner::RunIndexed(size_t n, const std::function<void(size_t)>& body,
     claimed[i].store(false, std::memory_order_relaxed);
   }
   std::vector<std::exception_ptr> errors(n);
+  // Per-index wall times: each slot is written by exactly the worker that
+  // claimed the point, then merged post-join — no locks, no races.
+  std::vector<double> point_seconds(n, 0.0);
 
   auto worker = [&](size_t w) {
     for (size_t pass = 0; pass < workers; ++pass) {
@@ -88,6 +92,7 @@ void SweepRunner::RunIndexed(size_t n, const std::function<void(size_t)>& body,
         if (!claimed[i].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
           continue;
         }
+        const auto point_start = std::chrono::steady_clock::now();
         try {
           body(i);
         } catch (const std::exception& e) {
@@ -101,6 +106,9 @@ void SweepRunner::RunIndexed(size_t n, const std::function<void(size_t)>& body,
                        name_of ? "'" : "");
           errors[i] = std::current_exception();
         }
+        point_seconds[i] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - point_start)
+                .count();
       }
     }
   };
@@ -114,6 +122,10 @@ void SweepRunner::RunIndexed(size_t n, const std::function<void(size_t)>& body,
   for (std::thread& t : pool) {
     t.join();
   }
+  for (size_t i = 0; i < n; ++i) {
+    profiles_.push_back(
+        {name_of ? name_of(i) : "#" + std::to_string(i), point_seconds[i]});
+  }
   for (const std::exception_ptr& e : errors) {
     if (e) {
       wall_seconds_ +=
@@ -126,9 +138,24 @@ void SweepRunner::RunIndexed(size_t n, const std::function<void(size_t)>& body,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
 }
 
+std::vector<SweepPointProfile> SweepRunner::SlowestPoints(size_t n) const {
+  std::vector<SweepPointProfile> sorted = profiles_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const SweepPointProfile& a, const SweepPointProfile& b) {
+                     return a.seconds > b.seconds;
+                   });
+  if (sorted.size() > n) {
+    sorted.resize(n);
+  }
+  return sorted;
+}
+
 void SweepRunner::PrintSummary(const std::string& label) const {
   std::fprintf(stderr, "[sweep] %s: %zu points on %d worker%s in %.2fs\n", label.c_str(),
                points_run_, jobs_, jobs_ == 1 ? "" : "s", wall_seconds_);
+  for (const SweepPointProfile& p : SlowestPoints(3)) {
+    std::fprintf(stderr, "[sweep]   slowest: %-40s %.2fs\n", p.name.c_str(), p.seconds);
+  }
 }
 
 }  // namespace lithos

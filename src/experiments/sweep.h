@@ -40,6 +40,12 @@ struct SweepPoint {
   std::function<Result()> run;
 };
 
+// Wall-clock profile of one executed point (self-profiling diagnostics).
+struct SweepPointProfile {
+  std::string name;  // the point's name, or "#<i>" for unnamed grids
+  double seconds = 0;
+};
+
 class SweepRunner {
  public:
   // jobs = 0 resolves via ResolveSweepJobs ($LITHOS_JOBS / hardware).
@@ -79,14 +85,21 @@ class SweepRunner {
     return results;
   }
 
-  // One-line execution summary on stderr — never stdout, which must stay
-  // byte-identical across worker counts.
+  // The `n` slowest points run so far, slowest first. Per-point wall times
+  // are collected into per-index slots during the run and merged after the
+  // pool joins, so the listing is identical for any worker count (wall
+  // *durations* still vary run to run — this is diagnostics, never metrics).
+  std::vector<SweepPointProfile> SlowestPoints(size_t n) const;
+
+  // One-line execution summary plus the slowest points on stderr — never
+  // stdout, which must stay byte-identical across worker counts.
   void PrintSummary(const std::string& label) const;
 
  private:
   int jobs_;
   size_t points_run_ = 0;
   double wall_seconds_ = 0;
+  std::vector<SweepPointProfile> profiles_;  // one entry per executed point
 };
 
 }  // namespace lithos

@@ -7,6 +7,7 @@
 #include "src/common/check.h"
 #include "src/common/rng.h"
 #include "src/gpu/execution_engine.h"
+#include "src/obs/trace.h"
 
 namespace lithos {
 
@@ -188,6 +189,11 @@ void FaultInjector::Apply(const FaultEvent& event) {
         ApplyFrequency(n);
       }
       break;
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Append(sim_->Now(), TraceLayer::kFault, TraceKind::kFaultApplied,
+                      event.node, event.zone, static_cast<int32_t>(event.kind),
+                      static_cast<int64_t>(std::llround(event.factor * 1e6)));
   }
   trace_.push_back(FormatEvent(event));
 }

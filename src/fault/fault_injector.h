@@ -122,6 +122,11 @@ class FaultInjector {
   uint64_t stragglers() const { return stragglers_; }
   uint64_t power_caps() const { return power_caps_; }
 
+  // Attaches a binary trace recorder (nullptr detaches): every applied
+  // fault appends a TraceLayer::kFault record (arg = FaultKind,
+  // payload = clock factor in parts-per-million) alongside the text log.
+  void SetTrace(TraceRecorder* recorder) { recorder_ = recorder; }
+
  private:
   void Apply(const FaultEvent& event);
   // Re-resolves and requests node's effective clock from the overlap of its
@@ -143,6 +148,7 @@ class FaultInjector {
   std::vector<double> zone_cap_;      // zone -> clock fraction (1 = uncapped)
 
   std::vector<std::string> trace_;
+  TraceRecorder* recorder_ = nullptr;
   uint64_t node_crashes_ = 0;
   uint64_t zone_outages_ = 0;
   uint64_t stragglers_ = 0;

@@ -17,6 +17,8 @@ FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
 
   Simulator sim;
   FleetDispatcher fleet(&sim, config.cluster);
+  sim.SetTrace(config.trace);
+  fleet.SetTrace(config.trace);
 
   AutoscaleConfig control;
   control.cluster = config.cluster;
@@ -26,12 +28,14 @@ FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
   control.min_nodes = config.min_nodes;
   control.max_migrations_per_period = config.max_migrations_per_period;
   FleetController controller(&sim, &fleet, control);
+  controller.SetTrace(config.trace);
 
   FaultScenarioConfig faults = config.faults;
   if (faults.horizon == 0) {
     faults.horizon = horizon;
   }
   FaultInjector injector(&sim, &fleet, faults);
+  injector.SetTrace(config.trace);
   injector.Arm();
 
   FleetFaultResult result;
@@ -45,15 +49,19 @@ FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
   // insertion order.
   for (size_t i = 0; i < config.phases.size(); ++i) {
     const FaultPhase& phase = config.phases[i];
-    sim.ScheduleAt(phase.begin, [&fleet] {
+    sim.ScheduleAt(phase.begin, [&fleet, &config, i] {
       for (const std::unique_ptr<GpuNode>& node : fleet.nodes()) {
         node->engine()->ResetStats();
       }
       fleet.BeginMeasurement();
+      // After BeginMeasurement so counter baselines see the post-reset
+      // values: the snapshot delta is exactly the window's activity.
+      fleet.metrics().BeginPhase(config.phases[i].name);
     });
     sim.ScheduleAt(phase.end, [&fleet, &result, &config, i] {
       const FaultPhase& phase = config.phases[i];
       const DurationNs window = phase.end - phase.begin;
+      fleet.metrics().EndPhase();
       const ClusterResult cluster = fleet.Collect(window);
       FaultPhaseStats& stats = result.phases[i];
       stats.name = phase.name;
@@ -85,6 +93,8 @@ FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
   result.failed_requests = fleet.failed();
   result.recoveries = static_cast<uint64_t>(fleet.recovery_log().size());
   result.events_fired = sim.events_fired();
+  result.sim = sim.counters();
+  result.metric_phases = fleet.metrics().phases();
   return result;
 }
 

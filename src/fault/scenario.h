@@ -45,6 +45,12 @@ struct FleetFaultConfig {
 
   FaultScenarioConfig faults;
   std::vector<FaultPhase> phases;
+
+  // Optional binary trace sink. When set, the simulator core, every node
+  // engine, the dispatcher, the controller, and the injector all append to
+  // it; records derive only from sim state, so the bytes are identical
+  // across runs and `--jobs` values for the same config.
+  TraceRecorder* trace = nullptr;
 };
 
 // Per-phase fleet metrics (the dispatcher's Collect over that window).
@@ -77,6 +83,10 @@ struct FleetFaultResult {
   uint64_t failed_requests = 0;  // lifetime, across all phases and gaps
   uint64_t recoveries = 0;       // recovery-log entries
   uint64_t events_fired = 0;     // simulator events over the whole run
+  SimCounters sim;               // full event-core counters for the run
+  // Registry snapshots, one per phase in order: every fleet/* counter as
+  // its window delta, gauges at window end (see MetricsRegistry phases).
+  std::vector<MetricsRegistry::PhaseSnapshot> metric_phases;
 };
 
 // Builds simulator + FleetDispatcher + FleetController + FaultInjector,

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/check.h"
+#include "src/obs/trace.h"
 
 namespace lithos {
 
@@ -147,6 +148,11 @@ void ExecutionEngine::CheckpointGrant(Grant& g) {
     g.progress = std::min(1.0, g.progress + elapsed / CurrentLatencyNs(g));
   }
   g.last_checkpoint = now;
+  if (trace_ != nullptr) {
+    trace_->Append(now, TraceLayer::kEngine, TraceKind::kGrantCheckpoint,
+                   trace_node_, trace_zone_, g.item.client_id,
+                   static_cast<int64_t>(g.progress * 1e6));
+  }
 }
 
 void ExecutionEngine::CheckpointOverlapping(const TpcMask& touched) {
@@ -265,6 +271,11 @@ GrantId ExecutionEngine::Launch(WorkItem item, const TpcMask& mask) {
   g.completion_event = 0;
 
   AddToTpcs(g);
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kEngine, TraceKind::kGrantLaunch,
+                   trace_node_, trace_zone_, g.item.client_id,
+                   static_cast<int64_t>(g.mask.count()));
+  }
   // Includes the new grant itself: its first completion event is created here.
   RescheduleOverlapping(mask);
   return g.id;
@@ -334,6 +345,11 @@ WorkItem ExecutionEngine::Abort(GrantId id) {
   if (g->completion_event != 0) {
     sim_->Cancel(g->completion_event);
   }
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kEngine, TraceKind::kGrantAbort,
+                   trace_node_, trace_zone_, g->item.client_id,
+                   sim_->Now() - g->start_time);
+  }
   WorkItem item = std::move(g->item);
   FreeGrantSlot(SlotOf(id));
   ++stats_.grants_aborted;
@@ -371,6 +387,10 @@ void ExecutionEngine::OnGrantFinished(GrantId id) {
   info.allocated_tpcs = static_cast<int>(g->mask.count());
   info.freq_mhz_at_start = g->freq_at_start;
 
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kEngine, TraceKind::kGrantComplete,
+                   trace_node_, trace_zone_, info.client_id, info.Duration());
+  }
   const TpcMask touched = g->mask;
   // Co-tenants fold progress at the shared rate before the capacity frees up.
   CheckpointOverlapping(touched);
@@ -389,6 +409,10 @@ void ExecutionEngine::OnGrantFinished(GrantId id) {
 
 void ExecutionEngine::RequestFrequencyMhz(int mhz) {
   const int clamped = spec_.ClampFrequency(mhz);
+  if (trace_ != nullptr && clamped != desired_mhz_) {
+    trace_->Append(sim_->Now(), TraceLayer::kEngine, TraceKind::kDvfsRequest,
+                   trace_node_, trace_zone_, clamped, current_mhz_);
+  }
   desired_mhz_ = clamped;
   if (clamped == current_mhz_ && switch_event_ == 0) {
     return;
@@ -404,6 +428,10 @@ void ExecutionEngine::RequestFrequencyMhz(int mhz) {
     switch_event_ = 0;
     if (current_mhz_ != desired_mhz_) {
       current_mhz_ = desired_mhz_;
+      if (trace_ != nullptr) {
+        trace_->Append(sim_->Now(), TraceLayer::kEngine, TraceKind::kDvfsApply,
+                       trace_node_, trace_zone_, current_mhz_, 0);
+      }
       RescheduleAllRunning();
       // The desired state may have moved again while switching.
       if (desired_mhz_ != current_mhz_) {
@@ -424,6 +452,11 @@ void ExecutionEngine::SetPowerGated(bool gated) {
     LITHOS_CHECK(busy_mask_.none());  // drain before powering off
   }
   power_gated_ = gated;
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kEngine,
+                   TraceKind::kEnginePowerGate, trace_node_, trace_zone_, -1,
+                   gated ? 1 : 0);
+  }
 }
 
 const EngineStats& ExecutionEngine::Stats() {

@@ -171,6 +171,19 @@ class ExecutionEngine {
   // Instantaneous power draw at current state (W).
   double InstantPowerW() const;
 
+  // --- Observability -------------------------------------------------------
+
+  // Attaches a binary trace recorder (nullptr detaches). Every grant launch /
+  // completion / abort / checkpoint, DVFS request and transition, and power
+  // gate flip appends a TraceLayer::kEngine record tagged with `node`/`zone`
+  // (-1 for an engine outside a fleet). Disabled tracing costs one
+  // predictable branch per instrumentation point.
+  void SetTrace(TraceRecorder* trace, int32_t node = -1, int32_t zone = -1) {
+    trace_ = trace;
+    trace_node_ = node;
+    trace_zone_ = zone;
+  }
+
  private:
   // Slab entry: grants are recycled through a free list; `generation`
   // increments on every free so stale GrantIds never resolve.
@@ -257,6 +270,10 @@ class ExecutionEngine {
 
   TimeNs last_account_ = 0;
   EngineStats stats_;
+
+  TraceRecorder* trace_ = nullptr;  // forward-declared in simulator.h
+  int32_t trace_node_ = -1;
+  int32_t trace_zone_ = -1;
 };
 
 }  // namespace lithos

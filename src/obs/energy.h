@@ -1,7 +1,7 @@
 // Energy and capacity accounting helpers for the right-sizing (Fig. 17) and
 // DVFS (Fig. 18) experiments.
-#ifndef LITHOS_METRICS_ENERGY_H_
-#define LITHOS_METRICS_ENERGY_H_
+#ifndef LITHOS_OBS_ENERGY_H_
+#define LITHOS_OBS_ENERGY_H_
 
 #include "src/gpu/execution_engine.h"
 
@@ -35,4 +35,4 @@ inline double EnergyPerWork(const EngineStats& stats, double work_units) {
 
 }  // namespace lithos
 
-#endif  // LITHOS_METRICS_ENERGY_H_
+#endif  // LITHOS_OBS_ENERGY_H_

@@ -1,0 +1,128 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace lithos {
+
+const char* TraceLayerName(TraceLayer layer) {
+  switch (layer) {
+    case TraceLayer::kSim: return "sim";
+    case TraceLayer::kEngine: return "engine";
+    case TraceLayer::kCluster: return "cluster";
+    case TraceLayer::kControl: return "control";
+    case TraceLayer::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kEventSchedule: return "event_schedule";
+    case TraceKind::kEventFire: return "event_fire";
+    case TraceKind::kEventCancel: return "event_cancel";
+    case TraceKind::kEventReschedule: return "event_reschedule";
+    case TraceKind::kGrantLaunch: return "grant_launch";
+    case TraceKind::kGrantComplete: return "grant_complete";
+    case TraceKind::kGrantAbort: return "grant_abort";
+    case TraceKind::kGrantCheckpoint: return "grant_checkpoint";
+    case TraceKind::kDvfsRequest: return "dvfs_request";
+    case TraceKind::kDvfsApply: return "dvfs_apply";
+    case TraceKind::kEnginePowerGate: return "engine_power_gate";
+    case TraceKind::kArrival: return "arrival";
+    case TraceKind::kPlacement: return "placement";
+    case TraceKind::kDispatchFail: return "dispatch_fail";
+    case TraceKind::kNodeCrash: return "node_crash";
+    case TraceKind::kNodeRevive: return "node_revive";
+    case TraceKind::kOrphanedCompletion: return "orphaned_completion";
+    case TraceKind::kRecoverReplica: return "recover_replica";
+    case TraceKind::kDropLostReplica: return "drop_lost_replica";
+    case TraceKind::kMigration: return "migration";
+    case TraceKind::kScaleTarget: return "scale_target";
+    case TraceKind::kDrainBegin: return "drain_begin";
+    case TraceKind::kPowerOff: return "power_off";
+    case TraceKind::kPowerOn: return "power_on";
+    case TraceKind::kFaultApplied: return "fault_applied";
+  }
+  return "unknown";
+}
+
+TraceRecorder::TraceRecorder(size_t limit) : limit_(limit) {
+  if (limit_ > 0) {
+    ring_.reserve(limit_);
+  }
+}
+
+uint64_t TraceRecorder::dropped() const {
+  return total_ - static_cast<uint64_t>(size());
+}
+
+size_t TraceRecorder::size() const {
+  if (limit_ > 0) {
+    return ring_.size();
+  }
+  size_t n = 0;
+  for (const auto& seg : segments_) {
+    n += seg.size();
+  }
+  return n;
+}
+
+std::vector<TraceRecord> TraceRecorder::Records() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size());
+  if (limit_ > 0) {
+    // Unwrap: once full, ring_next_ points at the oldest retained record.
+    if (ring_.size() == limit_) {
+      out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(ring_next_),
+                 ring_.end());
+      out.insert(out.end(), ring_.begin(),
+                 ring_.begin() + static_cast<ptrdiff_t>(ring_next_));
+    } else {
+      out = ring_;
+    }
+    return out;
+  }
+  for (const auto& seg : segments_) {
+    out.insert(out.end(), seg.begin(), seg.end());
+  }
+  return out;
+}
+
+std::vector<uint8_t> TraceRecorder::Serialize() const {
+  const std::vector<TraceRecord> records = Records();
+  TraceFileHeader header;
+  std::memcpy(header.magic, kTraceMagic, sizeof(header.magic));
+  header.version = kTraceFormatVersion;
+  header.record_size = static_cast<uint32_t>(sizeof(TraceRecord));
+  header.record_count = records.size();
+  header.total = total_;
+  header.dropped = dropped();
+  std::vector<uint8_t> out(sizeof(header) + records.size() * sizeof(TraceRecord));
+  std::memcpy(out.data(), &header, sizeof(header));
+  if (!records.empty()) {
+    std::memcpy(out.data() + sizeof(header), records.data(),
+                records.size() * sizeof(TraceRecord));
+  }
+  return out;
+}
+
+bool TraceRecorder::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::vector<uint8_t> bytes = Serialize();
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+void TraceRecorder::Clear() {
+  total_ = 0;
+  ring_.clear();
+  ring_next_ = 0;
+  segments_.clear();
+}
+
+}  // namespace lithos

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
+
 namespace lithos {
 
 EventId Simulator::ScheduleAt(TimeNs at, EventCallback fn) {
@@ -22,6 +24,11 @@ EventId Simulator::ScheduleAt(TimeNs at, EventCallback fn) {
   heap_.push_back(slot);
   s.heap_index = static_cast<int32_t>(heap_.size() - 1);
   SiftUp(heap_.size() - 1);
+  ++events_scheduled_;
+  if (trace_ != nullptr) {
+    trace_->Append(now_, TraceLayer::kSim, TraceKind::kEventSchedule, -1, -1,
+                   static_cast<int32_t>(slot), at);
+  }
   return MakeId(slot, s.generation);
 }
 
@@ -41,6 +48,11 @@ void Simulator::Cancel(EventId id) {
   Slot* s = Resolve(id);
   if (s == nullptr) {
     return;  // Already fired, cancelled, or never existed.
+  }
+  ++events_canceled_;
+  if (trace_ != nullptr) {
+    trace_->Append(now_, TraceLayer::kSim, TraceKind::kEventCancel, -1, -1,
+                   static_cast<int32_t>(SlotOf(id)), s->at);
   }
   RemoveFromHeap(static_cast<size_t>(s->heap_index));
   FreeSlot(SlotOf(id));
@@ -62,6 +74,11 @@ bool Simulator::Reschedule(EventId id, TimeNs at) {
   const size_t pos = static_cast<size_t>(s->heap_index);
   if (!SiftUp(pos)) {
     SiftDown(pos);
+  }
+  ++events_rescheduled_;
+  if (trace_ != nullptr) {
+    trace_->Append(now_, TraceLayer::kSim, TraceKind::kEventReschedule, -1, -1,
+                   static_cast<int32_t>(SlotOf(id)), at);
   }
   return true;
 }
@@ -144,10 +161,15 @@ void Simulator::FireTop() {
   // Move the callback out and retire the slot *before* invoking: the callback
   // may schedule (growing the slab), cancel, or even reference its own id —
   // all safe once the slot is free.
+  const uint64_t seq = s.seq;
   EventCallback fn = std::move(s.fn);
   RemoveFromHeap(0);
   FreeSlot(slot);
   ++events_fired_;
+  if (trace_ != nullptr) {
+    trace_->Append(now_, TraceLayer::kSim, TraceKind::kEventFire, -1, -1,
+                   static_cast<int32_t>(slot), static_cast<int64_t>(seq));
+  }
   fn();
 }
 

@@ -38,10 +38,22 @@
 
 namespace lithos {
 
+class TraceRecorder;
+
 // Handle identifying a scheduled event; used for cancellation and
 // rescheduling. Encodes (slot index, generation) so handles of fired or
 // cancelled events never alias a live one.
 using EventId = uint64_t;
+
+// Lifetime operation counts of one Simulator; the work measure behind
+// events/sec benchmarks. Like every simulation output these are
+// byte-identical across runs and `--jobs` values for a fixed configuration.
+struct SimCounters {
+  uint64_t scheduled = 0;
+  uint64_t fired = 0;
+  uint64_t canceled = 0;
+  uint64_t rescheduled = 0;
+};
 
 // Type-erased move-only `void()` callable with inline small-buffer storage.
 // Callables whose captures fit kInlineBytes (and are nothrow-movable) live
@@ -190,6 +202,23 @@ class Simulator {
   // thread ran the sweep point.
   uint64_t events_fired() const { return events_fired_; }
 
+  // Companion operation counters (see events_fired() for the determinism
+  // contract, which extends to all of these).
+  uint64_t events_scheduled() const { return events_scheduled_; }
+  uint64_t events_canceled() const { return events_canceled_; }
+  uint64_t events_rescheduled() const { return events_rescheduled_; }
+  SimCounters counters() const {
+    return {events_scheduled_, events_fired_, events_canceled_,
+            events_rescheduled_};
+  }
+
+  // Attaches a binary trace recorder (nullptr detaches): every schedule /
+  // fire / cancel / reschedule appends a TraceLayer::kSim record. Disabled
+  // tracing costs one predictable branch per operation; see
+  // docs/observability.md.
+  void SetTrace(TraceRecorder* trace) { trace_ = trace; }
+  TraceRecorder* trace() const { return trace_; }
+
  private:
   // Slab entry. `heap_index` is the event's position in `heap_` (-1 when the
   // slot is free); `generation` increments every time the slot is recycled so
@@ -235,6 +264,10 @@ class Simulator {
   TimeNs now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_fired_ = 0;
+  uint64_t events_scheduled_ = 0;
+  uint64_t events_canceled_ = 0;
+  uint64_t events_rescheduled_ = 0;
+  TraceRecorder* trace_ = nullptr;
   std::vector<Slot> slots_;
   std::vector<uint32_t> free_slots_;
   std::vector<uint32_t> heap_;  // slot indices, d-ary min-heap by (at, seq)

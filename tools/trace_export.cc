@@ -1,0 +1,192 @@
+// trace_export: convert a binary LithOS trace (src/obs/trace.h) to text or
+// Chrome/Perfetto trace-event JSON.
+//
+//   trace_export <trace.bin>                  one text line per record
+//   trace_export --chrome <trace.bin> [out]   Chrome JSON (stdout by default)
+//
+// The Chrome export mirrors scripts/trace_to_chrome.py (the zero-dependency
+// Python twin CI smoke-tests): pid = zone + 1 (0 = fleet-wide), tid =
+// node + 1, complete ("X") spans reconstructed from kGrantComplete /
+// kNodeRevive duration payloads, instants ("i") for everything else, and
+// timestamps in microseconds (Chrome's unit) at nanosecond precision.
+// Output depends only on the trace bytes, so it is as deterministic as the
+// trace itself.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace lithos {
+namespace {
+
+struct LoadedTrace {
+  TraceFileHeader header;
+  std::vector<TraceRecord> records;
+};
+
+bool LoadTrace(const char* path, LoadedTrace* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s\n", path);
+    return false;
+  }
+  if (std::fread(&out->header, sizeof(out->header), 1, f) != 1) {
+    std::fprintf(stderr, "error: %s: short read on header\n", path);
+    std::fclose(f);
+    return false;
+  }
+  const TraceFileHeader& h = out->header;
+  if (std::memcmp(h.magic, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    std::fprintf(stderr, "error: %s: bad magic (not a LithOS trace)\n", path);
+    std::fclose(f);
+    return false;
+  }
+  if (h.version != kTraceFormatVersion || h.record_size != sizeof(TraceRecord)) {
+    std::fprintf(stderr, "error: %s: unsupported version %u / record size %u\n", path,
+                 h.version, h.record_size);
+    std::fclose(f);
+    return false;
+  }
+  out->records.resize(h.record_count);
+  if (h.record_count > 0 &&
+      std::fread(out->records.data(), sizeof(TraceRecord), h.record_count, f) !=
+          h.record_count) {
+    std::fprintf(stderr, "error: %s: short read on records\n", path);
+    std::fclose(f);
+    return false;
+  }
+  std::fclose(f);
+  return true;
+}
+
+int ExportText(const LoadedTrace& trace) {
+  const TraceFileHeader& h = trace.header;
+  std::printf("# lithos trace v%u: %" PRIu64 " records (%" PRIu64 " appended, %" PRIu64
+              " dropped)\n",
+              h.version, h.record_count, h.total, h.dropped);
+  for (const TraceRecord& r : trace.records) {
+    std::printf("t=%" PRId64 "ns %-8s %-20s node=%d zone=%d arg=%d payload=%" PRId64 "\n",
+                r.time_ns, TraceLayerName(static_cast<TraceLayer>(r.layer)),
+                TraceKindName(static_cast<TraceKind>(r.kind)), r.node, r.zone, r.arg,
+                r.payload);
+  }
+  return 0;
+}
+
+// Spans are emitted for record kinds that carry their own duration: the
+// record marks the *end* of the activity and the payload its length in ns.
+bool SpanDurationNs(const TraceRecord& r, int64_t* duration_ns, const char** name) {
+  switch (static_cast<TraceKind>(r.kind)) {
+    case TraceKind::kGrantComplete:
+      *duration_ns = r.payload;
+      *name = "grant";
+      return true;
+    case TraceKind::kNodeRevive:
+      *duration_ns = r.payload;
+      *name = "node-down";
+      return true;
+    default:
+      return false;
+  }
+}
+
+int ExportChrome(const LoadedTrace& trace, std::FILE* out) {
+  std::fprintf(out, "{\"traceEvents\":[");
+  bool first = true;
+  auto sep = [&first, out] {
+    if (!first) {
+      std::fputc(',', out);
+    }
+    first = false;
+    std::fputc('\n', out);
+  };
+
+  // Track naming: one process per zone (pid 0 = fleet-wide records), one
+  // thread per node (tid 0 = node-less records on that zone's track).
+  int max_zone = -1;
+  for (const TraceRecord& r : trace.records) {
+    max_zone = r.zone > max_zone ? r.zone : max_zone;
+  }
+  for (int zone = -1; zone <= max_zone; ++zone) {
+    sep();
+    std::fprintf(out,
+                 "{\"ph\":\"M\",\"pid\":%d,\"name\":\"process_name\",\"args\":{\"name\":\"%s%d"
+                 "\"}}",
+                 zone + 1, zone < 0 ? "fleet" : "zone ", zone < 0 ? 0 : zone);
+  }
+
+  for (const TraceRecord& r : trace.records) {
+    const int pid = r.zone + 1;
+    const int tid = r.node + 1;
+    const char* kind = TraceKindName(static_cast<TraceKind>(r.kind));
+    const char* layer = TraceLayerName(static_cast<TraceLayer>(r.layer));
+    int64_t duration_ns = 0;
+    const char* span_name = nullptr;
+    sep();
+    if (SpanDurationNs(r, &duration_ns, &span_name)) {
+      const int64_t begin_ns = r.time_ns - duration_ns;
+      std::fprintf(out,
+                   "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
+                   "\"name\":\"%s\",\"cat\":\"%s\",\"args\":{\"arg\":%d,\"payload\":%" PRId64
+                   "}}",
+                   pid, tid, begin_ns / 1e3, duration_ns / 1e3, span_name, layer, r.arg,
+                   r.payload);
+    } else {
+      std::fprintf(out,
+                   "{\"ph\":\"i\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"s\":\"t\","
+                   "\"name\":\"%s\",\"cat\":\"%s\",\"args\":{\"arg\":%d,\"payload\":%" PRId64
+                   "}}",
+                   pid, tid, r.time_ns / 1e3, kind, layer, r.arg, r.payload);
+    }
+  }
+  std::fprintf(out, "\n]}\n");
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  bool chrome = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chrome") == 0) {
+      chrome = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty() || positional.size() > 2 || (!chrome && positional.size() != 1)) {
+    std::fprintf(stderr,
+                 "usage: trace_export <trace.bin>            # text dump\n"
+                 "       trace_export --chrome <trace.bin> [out.json]\n");
+    return 2;
+  }
+
+  LoadedTrace trace;
+  if (!LoadTrace(positional[0], &trace)) {
+    return 1;
+  }
+  if (!chrome) {
+    return ExportText(trace);
+  }
+  std::FILE* out = stdout;
+  if (positional.size() == 2) {
+    out = std::fopen(positional[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", positional[1]);
+      return 1;
+    }
+  }
+  const int rc = ExportChrome(trace, out);
+  if (out != stdout) {
+    std::fclose(out);
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace lithos
+
+int main(int argc, char** argv) { return lithos::Run(argc, argv); }
