@@ -104,7 +104,7 @@ int main(int argc, char** argv) {
     PlacementPolicy policy;
     std::string scenario;
   };
-  const std::vector<GridPoint> grid = {
+  std::vector<GridPoint> grid = {
       {PlacementPolicy::kModelAffinity, "healthy"},
       {PlacementPolicy::kModelAffinity, "crashes"},
       {PlacementPolicy::kModelAffinity, "stragglers"},
@@ -112,18 +112,35 @@ int main(int argc, char** argv) {
       {PlacementPolicy::kModelAffinity, "zone-outage"},
       {PlacementPolicy::kLeastLoaded, "zone-outage"},
   };
+  // --scenario keeps only matching grid points (quick single-scenario runs);
+  // --fault-seed overrides the injector seed for every surviving point.
+  grid.erase(std::remove_if(grid.begin(), grid.end(),
+                            [&opts](const GridPoint& g) {
+                              return !bench::ScenarioSelected(opts, g.scenario);
+                            }),
+             grid.end());
+  if (grid.empty()) {
+    std::fprintf(stderr, "error: --scenario '%s' matches no grid point\n",
+                 opts.scenario.c_str());
+    return 1;
+  }
 
   std::vector<SweepPoint<FleetFaultResult>> points;
   for (const GridPoint& g : grid) {
     const bool traced =
         g.policy == PlacementPolicy::kModelAffinity && g.scenario == "zone-outage";
     TraceRecorder* point_trace = traced ? recorder : nullptr;
-    points.push_back({PlacementPolicyName(g.policy) + "/" + g.scenario, [g, point_trace] {
-                        FleetFaultConfig config = BaseConfig(g.policy);
-                        config.faults = Scenario(g.scenario);
-                        config.trace = point_trace;
-                        return RunFleetFaultScenario(config);
-                      }});
+    const long long fault_seed = opts.fault_seed;
+    points.push_back(
+        {PlacementPolicyName(g.policy) + "/" + g.scenario, [g, point_trace, fault_seed] {
+           FleetFaultConfig config = BaseConfig(g.policy);
+           config.faults = Scenario(g.scenario);
+           if (fault_seed >= 0) {
+             config.faults.seed = static_cast<uint64_t>(fault_seed);
+           }
+           config.trace = point_trace;
+           return RunFleetFaultScenario(config);
+         }});
   }
   const std::vector<FleetFaultResult> results = runner.Run(points);
 

@@ -28,11 +28,17 @@ namespace lithos::bench {
 //   --trace=PATH | --trace PATH   write a binary trace (src/obs/trace.h)
 //   --trace-limit=N               ring capacity in records; 0 = unbounded
 //                                 segment mode (default 1M records = 32 MiB)
+//   --fault-seed=N                override the fault injector's seed (fault
+//                                 benches only; -1 = keep the bench default)
+//   --scenario=NAME               run only grid points whose fault scenario
+//                                 matches NAME (fault benches only)
 // Unknown flags are ignored so benches can add their own on top.
 struct BenchOptions {
   int jobs = 0;
   std::string trace_path;            // empty = tracing disabled
   long long trace_limit = 1 << 20;   // records retained in ring mode
+  long long fault_seed = -1;         // -1 = bench default
+  std::string scenario;              // empty = all scenarios
 };
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
@@ -49,6 +55,17 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
     }
     opts.trace_limit = limit;
   };
+  auto parse_seed = [&opts](const char* flag, const char* value) {
+    char* end = nullptr;
+    const long long seed = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || seed < 0) {
+      std::fprintf(stderr,
+                   "warning: ignoring '%s %s' (expected a non-negative integer)\n",
+                   flag, value);
+      return;
+    }
+    opts.fault_seed = seed;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace=", 0) == 0) {
@@ -59,9 +76,23 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
       parse_limit("--trace-limit=", arg.c_str() + 14);
     } else if (arg == "--trace-limit" && i + 1 < argc) {
       parse_limit("--trace-limit", argv[++i]);
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      parse_seed("--fault-seed=", arg.c_str() + 13);
+    } else if (arg == "--fault-seed" && i + 1 < argc) {
+      parse_seed("--fault-seed", argv[++i]);
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      opts.scenario = arg.substr(11);
+    } else if (arg == "--scenario" && i + 1 < argc) {
+      opts.scenario = argv[++i];
     }
   }
   return opts;
+}
+
+// True when the grid point named `scenario` should run under the --scenario
+// filter (empty filter = run everything).
+inline bool ScenarioSelected(const BenchOptions& opts, const std::string& scenario) {
+  return opts.scenario.empty() || opts.scenario == scenario;
 }
 
 // Writes the recorder to opts.trace_path with a stderr notice (stdout stays

@@ -39,11 +39,14 @@ KIND_NAMES = {
     27: "drop_lost_replica", 28: "migration",
     30: "scale_target", 31: "drain_begin", 32: "power_off", 33: "power_on",
     40: "fault_applied",
+    50: "node_partition", 51: "node_heal", 52: "deferred_completion",
+    53: "deferred_delivered", 54: "deferred_orphaned", 55: "request_retry",
+    56: "request_hedge", 57: "request_shed", 58: "request_timeout",
 }
 
 # kind -> span name for records whose payload is the activity's duration (ns);
 # the record marks the end of the activity.
-SPAN_KINDS = {11: "grant", 24: "node-down"}
+SPAN_KINDS = {11: "grant", 24: "node-down", 51: "partitioned"}
 
 
 def load_trace(path):

@@ -102,11 +102,13 @@ bool FleetController::ApplyLifecycle(int desired) {
   const int total = static_cast<int>(states_.size());
   int activated = 0;
   for (int n = 0; n < total; ++n) {
-    // Crashed nodes are never part of the active set; a node the fault
-    // layer failed while Active transitions to Draining here (its queued
-    // work was already written off — the state just burns out the in-flight
-    // kernels before CompleteDrains gates the host dark).
-    const bool wanted = activated < desired && !dispatcher_->NodeFailed(n);
+    // Crashed or partitioned nodes are never part of the active set; a node
+    // the fault layer failed while Active transitions to Draining here (its
+    // queued work was already written off — the state just burns out the
+    // in-flight kernels before CompleteDrains gates the host dark). A
+    // partitioned node likewise drains out of rotation, but keeps its work.
+    const bool wanted = activated < desired && !dispatcher_->NodeFailed(n) &&
+                        !dispatcher_->NodePartitioned(n);
     if (wanted) {
       ++activated;
       if (states_[n] == NodePower::kPoweredOff) {
@@ -196,10 +198,12 @@ void FleetController::Rebalance(double demand_ms_per_s) {
       if (!forced && budget <= 0) {
         break;  // partitioned: everything after is unforced too
       }
-      // A crashed source cannot run its checkpoint half: the replica is
-      // re-placed through the restore-only recovery path instead of a full
-      // live migration.
-      const bool moved = dispatcher_->NodeFailed(removed[i])
+      // A crashed source cannot run its checkpoint half — and a partitioned
+      // one cannot be reached to run it: the replica is re-placed through
+      // the restore-only recovery path instead of a full live migration.
+      const bool unreachable = dispatcher_->NodeFailed(removed[i]) ||
+                               dispatcher_->NodePartitioned(removed[i]);
+      const bool moved = unreachable
                              ? dispatcher_->RecoverModelReplica(model, removed[i], added[j])
                              : dispatcher_->MigrateModel(model, removed[i], added[j]);
       if (moved && !forced) {
@@ -213,7 +217,8 @@ void FleetController::Rebalance(double demand_ms_per_s) {
       if (!forced && budget <= 0) {
         continue;
       }
-      const bool dropped = dispatcher_->NodeFailed(removed[i])
+      const bool dropped = dispatcher_->NodeFailed(removed[i]) ||
+                                   dispatcher_->NodePartitioned(removed[i])
                                ? dispatcher_->DropLostReplica(model, removed[i])
                                : dispatcher_->RemoveModelReplica(model, removed[i]);
       if (dropped && !forced) {
@@ -232,7 +237,10 @@ void FleetController::CompleteDrains() {
   const std::vector<double>& outstanding = dispatcher_->outstanding_ms();
   for (size_t n = 0; n < states_.size(); ++n) {
     const int node = static_cast<int>(n);
+    // A partitioned node is never gated: it is still computing (and holding
+    // deferred results), just unreachable — power stays on until it heals.
     if (states_[n] == NodePower::kDraining &&
+        !dispatcher_->NodePartitioned(static_cast<int>(n)) &&
         outstanding[n] <= config_.drain_epsilon_ms &&
         dispatcher_->nodes()[n]->engine()->NumRunningGrants() == 0) {
       dispatcher_->PowerGateNode(node, true);

@@ -29,6 +29,17 @@ void BaselineBackend::HandleHeadComplete(Stream* stream, const GrantInfo& info) 
   stream->CompleteHead();
 }
 
+bool BaselineBackend::CancelInFlight(Stream* stream) {
+  auto it = inflight_.find(stream);
+  if (it == inflight_.end() || !engine_->IsActive(it->second)) {
+    return false;
+  }
+  engine_->Abort(it->second);  // completion event rescinded; on_complete never runs
+  inflight_.erase(it);
+  stream->CompleteHead();  // pops the aborted head, drains markers, re-notifies
+  return true;
+}
+
 int BaselineBackend::InflightOfClass(PriorityClass cls) const {
   int n = 0;
   for (const auto& [stream, grant] : inflight_) {

@@ -20,6 +20,11 @@ class BaselineBackend : public Backend {
 
   void OnClientRegistered(const Client& client) override { clients_[client.id] = client; }
 
+  // Whole-kernel dispatch makes in-flight cancellation exact: abort the
+  // grant (the engine rescinds its completion without running on_complete),
+  // drop it from inflight_, and pop the head so the FIFO advances.
+  bool CancelInFlight(Stream* stream) override;
+
  protected:
   // Fixed per-launch dispatch overhead (driver + runtime), matching the
   // interposition-free native path.

@@ -31,6 +31,9 @@ ClusterDispatcher::ClusterDispatcher(Simulator* sim, const ClusterConfig& config
   LITHOS_CHECK_GT(config_.aggregate_rps, 0.0);
   LITHOS_CHECK_GE(config_.num_zones, 1);
   LITHOS_CHECK_EQ(config_.num_nodes % config_.num_zones, 0);  // equal-sized zones
+  LITHOS_CHECK_GE(config_.racks_per_zone, 1);
+  // Equal-sized racks within each zone.
+  LITHOS_CHECK_EQ((config_.num_nodes / config_.num_zones) % config_.racks_per_zone, 0);
 
   for (int n = 0; n < config_.num_nodes; ++n) {
     nodes_.push_back(
@@ -39,6 +42,7 @@ ClusterDispatcher::ClusterDispatcher(Simulator* sim, const ClusterConfig& config
 
   zone_topo_.num_zones = config_.num_zones;
   zone_topo_.zone_size = config_.num_nodes / config_.num_zones;
+  zone_topo_.racks_per_zone = config_.racks_per_zone;
   zone_outstanding_ms_.assign(config_.num_zones, 0.0);
 
   const std::vector<FleetModel>& models = fleet_.models();
@@ -98,10 +102,23 @@ ClusterDispatcher::ClusterDispatcher(Simulator* sim, const ClusterConfig& config
   ctr_failed_ = &metrics_.counter("fleet/failed");
   ctr_recoveries_ = &metrics_.counter("fleet/recoveries");
   ctr_migrations_ = &metrics_.counter("fleet/migrations");
+  ctr_retries_ = &metrics_.counter("fleet/retries");
+  ctr_hedges_ = &metrics_.counter("fleet/hedges");
+  ctr_hedge_wins_ = &metrics_.counter("fleet/hedge_wins");
+  ctr_timeouts_ = &metrics_.counter("fleet/timeouts");
+  ctr_shed_ = &metrics_.counter("fleet/shed");
+  ctr_deferred_ = &metrics_.counter("fleet/deferred");
+  ctr_deferred_delivered_ = &metrics_.counter("fleet/deferred_delivered");
+  ctr_deferred_orphaned_ = &metrics_.counter("fleet/deferred_orphaned");
   g_completed_request_ms_ = &metrics_.gauge("fleet/completed_request_ms");
   g_dispatched_request_ms_ = &metrics_.gauge("fleet/dispatched_request_ms");
   g_migration_gpu_ms_ = &metrics_.gauge("fleet/migration_gpu_ms");
   hist_latency_ms_ = &metrics_.histogram("fleet/latency_ms");
+
+  model_dispatched_.assign(models.size(), 0);
+  model_retries_.assign(models.size(), 0);
+  quarantine_until_.assign(models.size() * static_cast<size_t>(config_.num_nodes), 0);
+  active_node_count_ = config_.num_nodes;  // every node starts in rotation
 
   // Peak of the diurnal curve, used as the thinning envelope for arrivals.
   peak_norm_ = 1.0;
@@ -180,6 +197,9 @@ void ClusterDispatcher::StartArrivals(TimeNs until) {
 }
 
 int ClusterDispatcher::Dispatch(int model_index) {
+  if (config_.resilience.enabled) {
+    return DispatchResilient(model_index);
+  }
   if (trace_ != nullptr) {
     trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kArrival, -1,
                    -1, model_index,
@@ -204,9 +224,10 @@ int ClusterDispatcher::Dispatch(int model_index) {
   }
 
   // The placer only routes to a failed node when every alternative is gone
-  // (its last-resort fallback). A dead host cannot execute anything: the
-  // request fails fast at admission instead of launching kernels on it.
-  if (state.failed) {
+  // (its last-resort fallback). A dead host cannot execute anything — and a
+  // partitioned one cannot be reached — so the request fails fast at
+  // admission instead of launching kernels on it.
+  if (state.failed || state.partitioned) {
     ctr_failed_->Inc();
     if (measured) {
       ++state.failed_measured;
@@ -265,6 +286,23 @@ int ClusterDispatcher::Dispatch(int model_index) {
       return;
     }
     AddOutstanding(node, -cost_ms);
+    if (state.partitioned) {
+      // The node finished the work but cannot deliver the result: buffer it
+      // for heal-time delivery (or orphaning, if the node crashes first).
+      ctr_deferred_->Inc();
+      if (trace_ != nullptr) {
+        trace_->Append(sim_->Now(), TraceLayer::kCluster,
+                       TraceKind::kDeferredCompletion, node,
+                       zone_topo_.ZoneOf(node), model_index, sim_->Now() - arrival);
+      }
+      DeferredCompletion d;
+      d.epoch = epoch;
+      d.model = model_index;
+      d.arrival = arrival;
+      d.request_ms = request_ms;
+      state.deferred.push_back(d);
+      return;
+    }
     ctr_completed_->Inc();
     if (arrival >= warmup_end_) {
       ++state.completed_measured;
@@ -280,6 +318,7 @@ void ClusterDispatcher::AddOutstanding(int node, double delta_ms) {
   const double before = outstanding;
   outstanding = std::max(0.0, outstanding + delta_ms);
   zone_outstanding_ms_[zone_topo_.ZoneOf(node)] += outstanding - before;
+  total_outstanding_ms_ += outstanding - before;
 }
 
 void ClusterDispatcher::BeginMeasurement() {
@@ -306,6 +345,9 @@ void ClusterDispatcher::BeginMeasurement() {
 }
 
 void ClusterDispatcher::SetNodeActive(int node, bool active) {
+  if (placer_->NodeEnabled(node) != active) {
+    active_node_count_ += active ? 1 : -1;
+  }
   placer_->SetNodeEnabled(node, active);
 }
 
@@ -323,9 +365,11 @@ bool ClusterDispatcher::NodeGated(int node) const {
 
 void ClusterDispatcher::ChargeMigrationKernel(int node, int model_index,
                                               const KernelDesc* kernel) {
-  // Migration kernels only ever target live nodes: MigrateModel sources are
-  // draining (not crashed) and recovery charges its restore on a survivor.
+  // Migration kernels only ever target live, reachable nodes: MigrateModel
+  // sources are draining (not crashed) and recovery charges its restore on a
+  // survivor.
   LITHOS_CHECK(!node_state_[node].failed);
+  LITHOS_CHECK(!node_state_[node].partitioned);
   const FleetModel& model = fleet_.models()[model_index];
   const double half_ms = 0.5 * config_.migration_cost_ms_per_size * model.size;
   if (half_ms <= 0) {
@@ -446,6 +490,108 @@ bool ClusterDispatcher::NodeFailed(int node) const {
   return node_state_[node].failed;
 }
 
+void ClusterDispatcher::PartitionNode(int node) {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, config_.num_nodes);
+  NodeState& state = node_state_[node];
+  if (state.partitioned) {
+    return;
+  }
+  state.partitioned = true;
+  state.partitioned_at = sim_->Now();
+  ++partitioned_node_count_;
+  if (trace_ != nullptr) {
+    // payload = GPU work the node keeps computing behind the partition, ns.
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kNodePartition,
+                   node, zone_topo_.ZoneOf(node), -1,
+                   static_cast<int64_t>(outstanding_ms_[node] * 1e6));
+  }
+  // Unreachable nodes leave the rotation, but — unlike FailNode — keep their
+  // epoch, queued work, and device memory: the GPU is healthy, only the
+  // network path died.
+  SetNodeActive(node, false);
+}
+
+void ClusterDispatcher::HealNode(int node) {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, config_.num_nodes);
+  NodeState& state = node_state_[node];
+  if (!state.partitioned) {
+    return;
+  }
+  state.partitioned = false;
+  --partitioned_node_count_;
+  if (trace_ != nullptr) {
+    // payload = partition duration, closing the partitioned span.
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kNodeHeal,
+                   node, zone_topo_.ZoneOf(node), -1,
+                   sim_->Now() - state.partitioned_at);
+  }
+  // Deliver the buffered completions in finish order. A crash behind the
+  // partition (stale epoch) lost the buffered results; a resilient request
+  // may have been settled by a retry or hedge in the meantime (stale gen),
+  // in which case the delivery is a duplicate and is orphaned.
+  std::vector<DeferredCompletion> deferred;
+  deferred.swap(state.deferred);
+  for (const DeferredCompletion& d : deferred) {
+    if (!d.resilient) {
+      if (node_state_[node].epoch != d.epoch) {
+        ctr_failed_->Inc();
+        if (sim_->Now() >= warmup_end_) {
+          ++state.failed_measured;
+        }
+        ctr_deferred_orphaned_->Inc();
+        if (trace_ != nullptr) {
+          trace_->Append(sim_->Now(), TraceLayer::kCluster,
+                         TraceKind::kDeferredOrphaned, node,
+                         zone_topo_.ZoneOf(node), d.model, 0);
+        }
+        continue;
+      }
+      ctr_completed_->Inc();
+      ctr_deferred_delivered_->Inc();
+      if (trace_ != nullptr) {
+        trace_->Append(sim_->Now(), TraceLayer::kCluster,
+                       TraceKind::kDeferredDelivered, node,
+                       zone_topo_.ZoneOf(node), d.model, sim_->Now() - d.arrival);
+      }
+      if (d.arrival >= warmup_end_) {
+        ++state.completed_measured;
+        hist_latency_ms_->Add(ToMillis(sim_->Now() - d.arrival));
+        g_completed_request_ms_->Add(d.request_ms);
+      }
+      continue;
+    }
+    const bool live = d.slot < requests_.size() && requests_[d.slot].in_use &&
+                      requests_[d.slot].gen == d.gen;
+    if (node_state_[node].epoch != d.epoch) {
+      if (live) {
+        OnAttemptOrphaned(d.slot, d.gen, d.attempt);
+      }
+      continue;
+    }
+    if (!live) {
+      // A retry or hedge already settled the request: duplicate result.
+      ctr_deferred_orphaned_->Inc();
+      if (trace_ != nullptr) {
+        trace_->Append(sim_->Now(), TraceLayer::kCluster,
+                       TraceKind::kDeferredOrphaned, node,
+                       zone_topo_.ZoneOf(node), -1, 0);
+      }
+      continue;
+    }
+    OnAttemptComplete(d.slot, d.gen, d.attempt, /*deferred=*/true);
+  }
+  // Like ReviveNode, deliberately *not* re-activated here: the control plane
+  // folds the healed node back into rotation at its next tick.
+}
+
+bool ClusterDispatcher::NodePartitioned(int node) const {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, config_.num_nodes);
+  return node_state_[node].partitioned;
+}
+
 void ClusterDispatcher::AppendRecoveryLog(const char* action, int model_index, int from, int to) {
   char line[96];
   std::snprintf(line, sizeof(line), "t=%lldns %s model=%s %d->%d",
@@ -455,8 +601,10 @@ void ClusterDispatcher::AppendRecoveryLog(const char* action, int model_index, i
 }
 
 bool ClusterDispatcher::RecoverModelReplica(int model_index, int from, int to) {
-  LITHOS_CHECK(node_state_[from].failed);   // recovery is for crashed sources only
-  LITHOS_CHECK(!node_state_[to].failed);    // ...onto a live survivor
+  // Recovery is for unreachable sources only (crashed or partitioned away)...
+  LITHOS_CHECK(node_state_[from].failed || node_state_[from].partitioned);
+  // ...onto a live, reachable survivor.
+  LITHOS_CHECK(!node_state_[to].failed && !node_state_[to].partitioned);
   if (from == to || !placer_->MoveReplica(model_index, from, to)) {
     return false;
   }
@@ -476,7 +624,7 @@ bool ClusterDispatcher::RecoverModelReplica(int model_index, int from, int to) {
 }
 
 bool ClusterDispatcher::DropLostReplica(int model_index, int node) {
-  LITHOS_CHECK(node_state_[node].failed);
+  LITHOS_CHECK(node_state_[node].failed || node_state_[node].partitioned);
   if (!placer_->RemoveReplica(model_index, node)) {
     return false;
   }
@@ -486,6 +634,513 @@ bool ClusterDispatcher::DropLostReplica(int model_index, int node) {
   }
   AppendRecoveryLog("drop", model_index, node, node);
   return true;
+}
+
+// --- Resilient dispatch path -------------------------------------------------
+
+int ClusterDispatcher::DispatchResilient(int model_index) {
+  const ResilienceConfig& rc = config_.resilience;
+  const FleetModel& model = fleet_.models()[model_index];
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kArrival, -1,
+                   -1, model_index, static_cast<int64_t>(model.cost_ms * 1000.0));
+  }
+  ctr_dispatched_->Inc();
+  g_dispatched_request_ms_->Add(model.cost_ms);
+  ++model_dispatched_[model_index];
+
+  // Admission control: above the outstanding-work watermark the fleet is
+  // melting down — reject now (cheap, bounded latency for what is admitted)
+  // rather than queue into the collapse.
+  if (rc.shed_watermark_ms > 0) {
+    const double watermark = rc.shed_watermark_ms * std::max(1, active_node_count_);
+    if (total_outstanding_ms_ > watermark) {
+      ctr_shed_->Inc();
+      if (trace_ != nullptr) {
+        // payload = outstanding excess over the watermark, ns.
+        trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kRequestShed,
+                       -1, -1, model_index,
+                       static_cast<int64_t>((total_outstanding_ms_ - watermark) * 1e6));
+      }
+      return -1;
+    }
+  }
+
+  uint32_t slot;
+  if (!free_request_slots_.empty()) {
+    slot = free_request_slots_.back();
+    free_request_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(requests_.size());
+    requests_.emplace_back();
+  }
+  RequestState& req = requests_[slot];
+  ++req.gen;
+  req.in_use = true;
+  req.hedged = !rc.hedge;  // hedging disabled == already hedged
+  req.model = model_index;
+  req.arrival = sim_->Now();
+  req.attempts = 0;
+  req.timer_armed = false;
+  req.hedge_armed = false;
+  req.tries.clear();
+
+  const int node = PickAttemptNode(model_index, req, /*hedge=*/false);
+  if (node < 0) {
+    // Every eligible node is crashed or partitioned: treat like a dead
+    // attempt and go straight to the backoff/retry path.
+    ++req.attempts;
+    TryRetryOrFail(slot);
+    return -1;
+  }
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kPlacement,
+                   node, zone_topo_.ZoneOf(node), model_index, 0);
+  }
+  LaunchAttempt(slot, node, /*is_hedge=*/false);
+  if (rc.hedge) {
+    const uint32_t gen = req.gen;
+    req.hedge_event = sim_->ScheduleAfter(rc.hedge_delay, [this, slot, gen] {
+      if (slot >= requests_.size() || !requests_[slot].in_use ||
+          requests_[slot].gen != gen) {
+        return;
+      }
+      RequestState& r = requests_[slot];
+      r.hedge_armed = false;
+      if (r.hedged) {
+        return;
+      }
+      r.hedged = true;
+      const int target = PickAttemptNode(r.model, r, /*hedge=*/true);
+      if (target < 0) {
+        return;  // no distinct healthy node to hedge onto
+      }
+      ctr_hedges_->Inc();
+      if (trace_ != nullptr) {
+        trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kRequestHedge,
+                       target, zone_topo_.ZoneOf(target), r.model, 0);
+      }
+      LaunchAttempt(slot, target, /*is_hedge=*/true);
+    });
+    req.hedge_armed = true;
+  }
+  return node;
+}
+
+int ClusterDispatcher::PickAttemptNode(int model_index, const RequestState& req, bool hedge) {
+  auto tried = [&req](int n) {
+    for (const AttemptState& a : req.tries) {
+      if (a.node == n) {
+        return true;
+      }
+    }
+    return false;
+  };
+  auto healthy = [this](int n) {
+    // Gate check matters for repaired hosts: between ReviveNode and the next
+    // control tick re-activating them, the node looks fine in node_state_
+    // but its engine is still powered dark and cannot accept a launch.
+    return !node_state_[n].failed && !node_state_[n].partitioned &&
+           !nodes_[n]->engine()->power_gated();
+  };
+  // A node whose queued work plus this request's cost already exceeds the
+  // attempt timeout is a black hole: the attempt is guaranteed to time out,
+  // burn its slot, and retry — which is exactly how a backlogged survivor
+  // stays backlogged forever after recovery (every completion it produces
+  // belongs to a request that already gave up on it). Steer around such
+  // nodes while any unsaturated candidate exists.
+  const double timeout_ms =
+      static_cast<double>(config_.resilience.attempt_timeout) / 1e6;
+  const FleetModel& model = fleet_.models()[model_index];
+  const double switch_ms = config_.switch_cost_ms_per_size * model.size;
+  auto doomed = [&](int n) {
+    const size_t pair = static_cast<size_t>(model_index) * config_.num_nodes + n;
+    if (quarantine_until_[pair] > sim_->Now()) {
+      return true;  // breaker open: a recent attempt timed out on this pair
+    }
+    const double queued = outstanding_ms_[n] + model.cost_ms +
+                          (node_state_[n].last_model == model_index ? 0.0 : switch_ms);
+    return timeout_ms > 0 && queued >= timeout_ms;
+  };
+  // The placer's pick is the common case; it only needs overriding when its
+  // last-resort fallback lands on an unreachable or saturated node, or when
+  // the request already tried it — a retry after a timeout must not re-join
+  // the same backlog, and a hedge needs a node distinct from every prior
+  // attempt.
+  const int placed = placer_->Place(model_index, outstanding_ms_);
+  if (placed >= 0 && placed < config_.num_nodes && healthy(placed) && !tried(placed) &&
+      !doomed(placed)) {
+    return placed;
+  }
+  // Deterministic fallback: least-outstanding healthy untried node among the
+  // model's eligible set (ties break to the lowest node id — EligibleNodes
+  // is sorted and the comparison is strict).
+  const std::vector<int> eligible = placer_->EligibleNodes(model_index);
+  int best = -1;
+  for (const int n : eligible) {
+    if (healthy(n) && !tried(n) && !doomed(n) &&
+        (best < 0 || outstanding_ms_[n] < outstanding_ms_[best])) {
+      best = n;
+    }
+  }
+  if (best >= 0 || hedge) {
+    return best;  // a hedge without a viable distinct target is skipped
+  }
+  // Every replica was already tried, is unreachable, or is saturated past the
+  // timeout. Escaping to a fresh node matters more than model affinity here,
+  // so pay the model switch on the least-outstanding healthy untried
+  // unsaturated node (the same last resort the placers use for a fully-dead
+  // replica set).
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    if (healthy(n) && !tried(n) && !doomed(n) &&
+        (best < 0 || outstanding_ms_[n] < outstanding_ms_[best])) {
+      best = n;
+    }
+  }
+  if (best >= 0) {
+    return best;
+  }
+  // Everything viable is saturated: take the least-loaded untried node and
+  // accept the likely timeout rather than refuse outright.
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    if (healthy(n) && !tried(n) &&
+        (best < 0 || outstanding_ms_[n] < outstanding_ms_[best])) {
+      best = n;
+    }
+  }
+  if (best >= 0) {
+    return best;
+  }
+  // Nothing untried anywhere: reuse a tried replica rather than give up.
+  for (const int n : eligible) {
+    if (healthy(n) && (best < 0 || outstanding_ms_[n] < outstanding_ms_[best])) {
+      best = n;
+    }
+  }
+  if (best >= 0) {
+    return best;
+  }
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    if (healthy(n) && (best < 0 || outstanding_ms_[n] < outstanding_ms_[best])) {
+      best = n;
+    }
+  }
+  return best;
+}
+
+void ClusterDispatcher::LaunchAttempt(uint32_t slot, int node, bool is_hedge) {
+  RequestState& req = requests_[slot];
+  NodeState& state = node_state_[node];
+  const FleetModel& model = fleet_.models()[req.model];
+  const bool measured = sim_->Now() >= warmup_end_;
+  ++state.dispatched;  // every attempt marks the node used
+  if (req.tries.empty() && measured) {
+    ++state.dispatched_measured;  // the request itself counts once
+  }
+  state.models_seen.insert(req.model);
+
+  Stream* stream = StreamFor(node, req.model);
+  Driver* driver = nodes_[node]->driver();
+
+  // The switch kernel is not cancellable work — once the weights start
+  // loading the node pays for them regardless of how the request ends — so
+  // it tracks its outstanding time through its own marker instead of riding
+  // on the attempt's (clawed back at cancellation) request cost.
+  if (state.last_model != req.model) {
+    const double switch_ms = config_.switch_cost_ms_per_size * model.size;
+    if (switch_ms > 0) {
+      driver->CuLaunchKernel(stream, &switch_kernels_[req.model]);
+      AddOutstanding(node, switch_ms);
+      const uint64_t switch_epoch = state.epoch;
+      driver->CuStreamAddCallback(stream, [this, node, switch_ms, switch_epoch] {
+        if (node_state_[node].epoch == switch_epoch) {
+          AddOutstanding(node, -switch_ms);
+        }
+      });
+      if (measured) {
+        ++state.switches_measured;
+      }
+    }
+    state.last_model = req.model;
+  }
+
+  AttemptState attempt;
+  attempt.node = node;
+  attempt.stream = stream;
+  attempt.kernel_id = driver->CuLaunchKernel(stream, &request_kernels_[req.model]);
+  attempt.cost_ms = model.cost_ms;
+  attempt.epoch = state.epoch;
+  attempt.open = true;
+  attempt.hedge = is_hedge;
+  AddOutstanding(node, model.cost_ms);
+
+  const int attempt_idx = static_cast<int>(req.tries.size());
+  req.tries.push_back(attempt);
+  const uint32_t gen = req.gen;
+  const double cost = model.cost_ms;
+  const uint64_t epoch = state.epoch;
+  req.tries[attempt_idx].marker_id =
+      driver->CuStreamAddCallback(stream, [this, slot, gen, attempt_idx, node, cost, epoch] {
+        NodeState& ns = node_state_[node];
+        if (ns.epoch != epoch) {
+          // Node crashed under the attempt; FailNode already wrote off the
+          // outstanding work.
+          OnAttemptOrphaned(slot, gen, attempt_idx);
+          return;
+        }
+        AddOutstanding(node, -cost);
+        if (ns.partitioned) {
+          ctr_deferred_->Inc();
+          if (trace_ != nullptr) {
+            trace_->Append(sim_->Now(), TraceLayer::kCluster,
+                           TraceKind::kDeferredCompletion, node,
+                           zone_topo_.ZoneOf(node), -1, 0);
+          }
+          DeferredCompletion d;
+          d.resilient = true;
+          d.epoch = epoch;
+          d.slot = slot;
+          d.gen = gen;
+          d.attempt = attempt_idx;
+          ns.deferred.push_back(d);
+          return;
+        }
+        OnAttemptComplete(slot, gen, attempt_idx, /*deferred=*/false);
+      });
+  if (!is_hedge) {
+    ++req.attempts;
+    ArmAttemptTimer(slot);
+  }
+}
+
+void ClusterDispatcher::ArmAttemptTimer(uint32_t slot) {
+  RequestState& req = requests_[slot];
+  if (req.timer_armed) {
+    sim_->Cancel(req.timer_event);
+    req.timer_armed = false;
+  }
+  if (config_.resilience.attempt_timeout <= 0) {
+    return;  // 0 disables per-attempt timeouts
+  }
+  const uint32_t gen = req.gen;
+  req.timer_event = sim_->ScheduleAfter(config_.resilience.attempt_timeout,
+                                        [this, slot, gen] { OnAttemptTimeout(slot, gen); });
+  req.timer_armed = true;
+}
+
+void ClusterDispatcher::OnAttemptTimeout(uint32_t slot, uint32_t gen) {
+  if (slot >= requests_.size() || !requests_[slot].in_use || requests_[slot].gen != gen) {
+    return;
+  }
+  RequestState& req = requests_[slot];
+  req.timer_armed = false;
+  ctr_timeouts_->Inc();
+  if (!req.tries.empty() && config_.resilience.quarantine > 0) {
+    const int node = req.tries.back().node;
+    quarantine_until_[static_cast<size_t>(req.model) * config_.num_nodes + node] =
+        sim_->Now() + config_.resilience.quarantine;
+  }
+  if (trace_ != nullptr) {
+    const int node = req.tries.empty() ? -1 : req.tries.back().node;
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kRequestTimeout,
+                   node, node >= 0 ? zone_topo_.ZoneOf(node) : -1, req.model,
+                   req.attempts);
+  }
+  // Claw back whatever can be clawed back; attempts that cannot be cancelled
+  // (crashed or partitioned nodes) stay open and race the retry — first
+  // completion still wins.
+  for (int i = 0; i < static_cast<int>(req.tries.size()); ++i) {
+    if (req.tries[i].open) {
+      TryCancelAttempt(slot, i);
+    }
+  }
+  TryRetryOrFail(slot);
+}
+
+bool ClusterDispatcher::TryCancelAttempt(uint32_t slot, int attempt) {
+  RequestState& req = requests_[slot];
+  AttemptState& a = req.tries[attempt];
+  if (!a.open) {
+    return false;
+  }
+  NodeState& ns = node_state_[a.node];
+  if (ns.epoch != a.epoch || ns.failed || ns.partitioned) {
+    return false;  // unreachable: nothing to send the cancel to
+  }
+  Driver* driver = nodes_[a.node]->driver();
+  // Marker first: cancelling an in-flight head pops it, which drains queued
+  // markers — the completion callback must already be gone by then.
+  if (!driver->CancelLaunch(a.stream, a.marker_id)) {
+    return false;  // completion already delivered (or about to be)
+  }
+  if (driver->CancelLaunch(a.stream, a.kernel_id)) {
+    AddOutstanding(a.node, -a.cost_ms);  // clawed back before it ran
+  } else {
+    // The kernel is on the device and this backend cannot abort it: the work
+    // burns to completion. Track its outstanding time with a replacement
+    // decrement-only marker (the result is discarded either way).
+    const int node = a.node;
+    const double cost = a.cost_ms;
+    const uint64_t epoch = a.epoch;
+    driver->CuStreamAddCallback(a.stream, [this, node, cost, epoch] {
+      if (node_state_[node].epoch == epoch) {
+        AddOutstanding(node, -cost);
+      }
+    });
+  }
+  a.open = false;
+  return true;
+}
+
+bool ClusterDispatcher::RetryBudgetAllows(int model_index) const {
+  const ResilienceConfig& rc = config_.resilience;
+  const double budget = rc.retry_budget_fraction *
+                            static_cast<double>(model_dispatched_[model_index]) +
+                        static_cast<double>(rc.retry_budget_floor);
+  return static_cast<double>(model_retries_[model_index]) < budget;
+}
+
+void ClusterDispatcher::TryRetryOrFail(uint32_t slot) {
+  RequestState& req = requests_[slot];
+  const ResilienceConfig& rc = config_.resilience;
+  if (req.timer_armed) {
+    sim_->Cancel(req.timer_event);
+    req.timer_armed = false;
+  }
+  if (req.attempts < rc.max_attempts && RetryBudgetAllows(req.model)) {
+    const int shift = std::min(std::max(req.attempts - 1, 0), 30);
+    const DurationNs backoff =
+        std::min<DurationNs>(rc.backoff_cap, rc.backoff_base << shift);
+    const uint32_t gen = req.gen;
+    req.timer_event = sim_->ScheduleAfter(backoff, [this, slot, gen] {
+      if (slot >= requests_.size() || !requests_[slot].in_use ||
+          requests_[slot].gen != gen) {
+        return;
+      }
+      RequestState& r = requests_[slot];
+      r.timer_armed = false;
+      const int node = PickAttemptNode(r.model, r, /*hedge=*/false);
+      if (node < 0) {
+        ++r.attempts;  // consumed: nowhere to go this round
+        TryRetryOrFail(slot);
+        return;
+      }
+      ++model_retries_[r.model];
+      ctr_retries_->Inc();
+      if (trace_ != nullptr) {
+        // payload = attempt number being launched.
+        trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kRequestRetry,
+                       node, zone_topo_.ZoneOf(node), r.model, r.attempts + 1);
+      }
+      LaunchAttempt(slot, node, /*is_hedge=*/false);
+    });
+    req.timer_armed = true;
+    return;
+  }
+  for (const AttemptState& a : req.tries) {
+    if (a.open) {
+      return;  // an uncancellable attempt may still deliver (e.g. at heal)
+    }
+  }
+  FailRequest(slot);
+}
+
+void ClusterDispatcher::OnAttemptOrphaned(uint32_t slot, uint32_t gen, int attempt) {
+  if (slot >= requests_.size() || !requests_[slot].in_use || requests_[slot].gen != gen) {
+    return;  // the request already settled; nothing left to do
+  }
+  RequestState& req = requests_[slot];
+  AttemptState& a = req.tries[attempt];
+  if (!a.open) {
+    return;
+  }
+  a.open = false;
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kOrphanedCompletion,
+                   a.node, zone_topo_.ZoneOf(a.node), req.model,
+                   sim_->Now() - req.arrival);
+  }
+  for (const AttemptState& other : req.tries) {
+    if (other.open) {
+      return;  // another attempt is still racing; the timeout covers it
+    }
+  }
+  TryRetryOrFail(slot);
+}
+
+void ClusterDispatcher::OnAttemptComplete(uint32_t slot, uint32_t gen, int attempt,
+                                          bool deferred) {
+  if (slot >= requests_.size() || !requests_[slot].in_use || requests_[slot].gen != gen) {
+    return;  // duplicate completion after the request settled
+  }
+  RequestState& req = requests_[slot];
+  AttemptState& a = req.tries[attempt];
+  if (!a.open) {
+    return;
+  }
+  a.open = false;
+  DisarmTimers(slot);
+  ctr_completed_->Inc();
+  quarantine_until_[static_cast<size_t>(req.model) * config_.num_nodes + a.node] = 0;
+  if (a.hedge) {
+    ctr_hedge_wins_->Inc();
+  }
+  if (deferred) {
+    ctr_deferred_delivered_->Inc();
+    if (trace_ != nullptr) {
+      trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kDeferredDelivered,
+                     a.node, zone_topo_.ZoneOf(a.node), req.model,
+                     sim_->Now() - req.arrival);
+    }
+  }
+  if (req.arrival >= warmup_end_) {
+    ++node_state_[a.node].completed_measured;
+    hist_latency_ms_->Add(ToMillis(sim_->Now() - req.arrival));
+    g_completed_request_ms_->Add(fleet_.models()[req.model].cost_ms);
+  }
+  // First completion wins: cancel what can still be cancelled. Losers that
+  // cannot be reached deliver into a freed slot later and are dropped (or
+  // orphaned at heal) by the gen check above.
+  for (int i = 0; i < static_cast<int>(req.tries.size()); ++i) {
+    if (i != attempt && req.tries[i].open) {
+      TryCancelAttempt(slot, i);
+    }
+  }
+  FreeRequestSlot(slot);
+}
+
+void ClusterDispatcher::FailRequest(uint32_t slot) {
+  RequestState& req = requests_[slot];
+  DisarmTimers(slot);
+  ctr_failed_->Inc();
+  const int node = req.tries.empty() ? -1 : req.tries.back().node;
+  if (node >= 0 && sim_->Now() >= warmup_end_) {
+    ++node_state_[node].failed_measured;
+  }
+  if (trace_ != nullptr) {
+    trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kDispatchFail,
+                   node, node >= 0 ? zone_topo_.ZoneOf(node) : -1, req.model, 0);
+  }
+  FreeRequestSlot(slot);
+}
+
+void ClusterDispatcher::DisarmTimers(uint32_t slot) {
+  RequestState& req = requests_[slot];
+  if (req.timer_armed) {
+    sim_->Cancel(req.timer_event);
+    req.timer_armed = false;
+  }
+  if (req.hedge_armed) {
+    sim_->Cancel(req.hedge_event);
+    req.hedge_armed = false;
+  }
+}
+
+void ClusterDispatcher::FreeRequestSlot(uint32_t slot) {
+  RequestState& req = requests_[slot];
+  req.in_use = false;
+  req.tries.clear();
+  free_request_slots_.push_back(slot);
 }
 
 ClusterResult ClusterDispatcher::Collect(DurationNs measured) {

@@ -71,6 +71,51 @@ class GpuNode {
 
 // --- Cluster serving ---------------------------------------------------------
 
+// Request-level resilience policies for the dispatch path (docs/resilience.md).
+// Disabled by default: the legacy write-off path schedules no extra events and
+// draws no extra randomness, so existing configs stay byte-identical.
+struct ResilienceConfig {
+  // Master switch. When false every other knob is ignored.
+  bool enabled = false;
+
+  // Sequential attempts per request (first dispatch + retries). A retry is
+  // scheduled when an attempt is orphaned by a crash, deferred behind a
+  // partition past its timeout, or times out — with capped exponential
+  // backoff: min(backoff_cap, backoff_base << (attempt - 1)).
+  int max_attempts = 3;
+  DurationNs attempt_timeout = FromMillis(250);
+  DurationNs backoff_base = FromMillis(20);
+  DurationNs backoff_cap = FromMillis(160);
+
+  // Gray-node breaker: after an attempt times out on a node, new attempts
+  // for that model steer around the (model, node) pair for this window; a
+  // successful completion there clears it early. Queue-depth admission
+  // alone cannot see a node whose drain rate silently degraded (stream
+  // interference, switch-kernel churn) — the breaker closes the loop with
+  // observed timeouts. 0 disables.
+  DurationNs quarantine = FromMillis(500);
+
+  // Per-model retry budget: retries for a model are allowed while
+  // lifetime_retries(m) < retry_budget_fraction * lifetime_dispatched(m)
+  //                      + retry_budget_floor.
+  // Caps retry storms during correlated failures (a meltdown cannot more
+  // than ~1.2x the offered load) while leaving isolated faults fully
+  // retryable.
+  double retry_budget_fraction = 0.2;
+  uint64_t retry_budget_floor = 32;
+
+  // Hedged dispatch: if the first attempt has not completed after
+  // hedge_delay, launch one duplicate on a distinct healthy node; first
+  // completion wins and the loser is cancelled through the driver/engine
+  // abort path.
+  bool hedge = false;
+  DurationNs hedge_delay = FromMillis(75);
+
+  // Admission control: shed (reject at arrival) when fleet-wide outstanding
+  // GPU-ms exceeds watermark * active nodes. 0 disables shedding.
+  double shed_watermark_ms = 0.0;
+};
+
 struct ClusterConfig {
   int num_nodes = 4;
   // Failure domains: nodes are split into this many contiguous, equal-sized
@@ -79,6 +124,11 @@ struct ClusterConfig {
   // placer and packing spreads hot models across zones; 1 keeps the flat
   // pre-hierarchy fleet.
   int num_zones = 1;
+  // Sub-zone failure domains: each zone splits into this many contiguous,
+  // equal-sized racks (zone_size must divide evenly). Racks only matter to
+  // the fault layer (rack-correlated crash groups); placement stays
+  // zone-granular. 1 keeps the pre-rack topology.
+  int racks_per_zone = 1;
   GpuSpec spec = GpuSpec::A100();
   // Per-node scheduling backend; any of the nine systems works.
   SystemKind system = SystemKind::kLithos;
@@ -109,6 +159,9 @@ struct ClusterConfig {
   DurationNs warmup = FromSeconds(1);
   DurationNs duration = FromSeconds(8);
   uint64_t seed = 42;
+
+  // Request-level resilience (retry / hedge / shed); off by default.
+  ResilienceConfig resilience;
 };
 
 // Per-node snapshot. Every counter covers the post-warm-up measurement
@@ -295,6 +348,23 @@ class ClusterDispatcher {
   bool NodeFailed(int node) const;
   int failed_node_count() const { return failed_node_count_; }
 
+  // Gray failure: partitions a node off the network. Unlike a crash the
+  // node keeps computing — queued work drains and kernels finish — but it
+  // is unreachable: it leaves the placement rotation, new dispatches to it
+  // fail fast (legacy) or retry elsewhere (resilient), and completions that
+  // finish behind the partition are *deferred* — buffered on the node and
+  // delivered (or orphaned, if the request was crashed away or already
+  // settled by a retry/hedge) when the partition heals. Idempotent.
+  void PartitionNode(int node);
+
+  // Heals a partitioned node: deferred completions are delivered in finish
+  // order, then the node rejoins *out of rotation* (the control plane
+  // re-activates it, as after a crash repair).
+  void HealNode(int node);
+
+  bool NodePartitioned(int node) const;
+  int partitioned_node_count() const { return partitioned_node_count_; }
+
   // Requests lost to crashes (lifetime; per-window counts come via Collect).
   uint64_t failed() const { return ctr_failed_->value(); }
 
@@ -335,6 +405,24 @@ class ClusterDispatcher {
   void SetTrace(TraceRecorder* trace);
 
  private:
+  // A completion that finished while its node was partitioned, buffered for
+  // delivery at heal time. Legacy requests carry their sample data inline;
+  // resilient requests carry a (slot, gen, attempt) handle into the request
+  // slab and are re-judged at delivery (the request may have been settled by
+  // a retry or hedge in the meantime).
+  struct DeferredCompletion {
+    bool resilient = false;
+    uint64_t epoch = 0;     // node epoch at dispatch (stale => orphaned)
+    // Legacy payload.
+    int model = -1;
+    TimeNs arrival = 0;
+    double request_ms = 0;  // request-kernel GPU-ms (goodput credit)
+    // Resilient payload.
+    uint32_t slot = 0;
+    uint32_t gen = 0;
+    int attempt = -1;
+  };
+
   struct NodeState {
     int last_model = -1;                 // model of the most recent launch
     uint64_t dispatched = 0;             // lifetime; identifies used nodes
@@ -345,6 +433,10 @@ class ClusterDispatcher {
     bool failed = false;
     uint64_t epoch = 0;
     TimeNs failed_at = 0;                // crash instant (for down-span traces)
+    // Gray-failure state: a partitioned node computes but cannot deliver.
+    bool partitioned = false;
+    TimeNs partitioned_at = 0;
+    std::vector<DeferredCompletion> deferred;  // finish-order buffer
     // Measurement-window counters reported through ClusterNodeStats.
     uint64_t dispatched_measured = 0;
     uint64_t completed_measured = 0;
@@ -359,6 +451,36 @@ class ClusterDispatcher {
     std::vector<Stream*> model_streams;
   };
 
+  // One dispatch attempt of a resilient request. `open` means the attempt
+  // can still deliver: its completion marker is queued or its node is
+  // partitioned with the completion deferred.
+  struct AttemptState {
+    int node = -1;
+    Stream* stream = nullptr;
+    uint64_t kernel_id = 0;   // request-kernel launch id (cancellation)
+    uint64_t marker_id = 0;   // completion-marker launch id
+    double cost_ms = 0;       // request-kernel GPU-ms (no switch cost)
+    uint64_t epoch = 0;       // node epoch at launch
+    bool open = false;
+    bool hedge = false;       // the hedged duplicate (for hedge-win stats)
+  };
+
+  // Slab entry for an in-flight resilient request. Slots are recycled
+  // (free-list); `gen` guards stale closures exactly like node epochs.
+  struct RequestState {
+    uint32_t gen = 0;
+    bool in_use = false;
+    bool hedged = false;      // hedge attempt launched (or skipped)
+    int model = -1;
+    TimeNs arrival = 0;
+    int attempts = 0;         // sequential attempts launched (excl. hedge)
+    EventId timer_event = 0;  // backoff or timeout timer (one at a time)
+    bool timer_armed = false;
+    EventId hedge_event = 0;
+    bool hedge_armed = false;
+    std::vector<AttemptState> tries;
+  };
+
   void ScheduleNextArrival(int model_index, TimeNs until);
   double RateNow(int model_index) const;
   Stream* StreamFor(int node, int model_index);
@@ -366,9 +488,40 @@ class ClusterDispatcher {
   // node's stream for the model and tracks its outstanding GPU time.
   void ChargeMigrationKernel(int node, int model_index, const KernelDesc* kernel);
   // Adjusts a node's outstanding-work estimate (clamped at zero) and keeps
-  // the per-zone aggregate in sync.
+  // the per-zone and fleet-total aggregates in sync.
   void AddOutstanding(int node, double delta_ms);
   void AppendRecoveryLog(const char* action, int model_index, int from, int to);
+
+  // --- Resilient dispatch path (config_.resilience.enabled) -----------------
+  // Lifecycle: DispatchResilient admits (or sheds) the request, allocates a
+  // slab slot, and launches attempt 1; each attempt's completion marker
+  // routes to OnAttemptComplete (node reachable), the deferred buffer (node
+  // partitioned), or OnAttemptOrphaned (node crashed — stale epoch). The
+  // request settles on first completion (losers cancelled) or fails after
+  // max_attempts / budget exhaustion.
+  int DispatchResilient(int model_index);
+  // Picks a healthy target for the next attempt; prefers the placer's
+  // choice, falls back to a least-outstanding scan of the model's eligible
+  // nodes (hedges require an untried node). Returns -1 when none qualifies.
+  int PickAttemptNode(int model_index, const RequestState& req, bool hedge);
+  // Launches one attempt (switch kernel if needed + request kernel +
+  // completion marker) on `node`. `is_hedge` marks the duplicate.
+  void LaunchAttempt(uint32_t slot, int node, bool is_hedge);
+  void OnAttemptComplete(uint32_t slot, uint32_t gen, int attempt, bool deferred);
+  void OnAttemptOrphaned(uint32_t slot, uint32_t gen, int attempt);
+  void OnAttemptTimeout(uint32_t slot, uint32_t gen);
+  // Cancels an open attempt through the driver (marker first, then kernel;
+  // in-flight heads abort through the engine). False when the attempt's
+  // node crashed/partitioned or the work cannot be clawed back.
+  bool TryCancelAttempt(uint32_t slot, int attempt);
+  // Schedules a backoff retry if attempts and budget allow, else fails the
+  // request. No-op while another attempt is still open.
+  void TryRetryOrFail(uint32_t slot);
+  void FailRequest(uint32_t slot);
+  bool RetryBudgetAllows(int model_index) const;
+  void ArmAttemptTimer(uint32_t slot);
+  void DisarmTimers(uint32_t slot);
+  void FreeRequestSlot(uint32_t slot);
 
   Simulator* sim_;
   ClusterConfig config_;
@@ -402,14 +555,40 @@ class ClusterDispatcher {
   Counter* ctr_failed_ = nullptr;      // requests lost to node crashes
   Counter* ctr_recoveries_ = nullptr;  // replica recoveries in the window
   Counter* ctr_migrations_ = nullptr;
+  // Resilience counters (lifetime; per-phase deltas come via the registry's
+  // phase snapshots).
+  Counter* ctr_retries_ = nullptr;
+  Counter* ctr_hedges_ = nullptr;
+  Counter* ctr_hedge_wins_ = nullptr;
+  Counter* ctr_timeouts_ = nullptr;
+  Counter* ctr_shed_ = nullptr;
+  Counter* ctr_deferred_ = nullptr;
+  Counter* ctr_deferred_delivered_ = nullptr;
+  Counter* ctr_deferred_orphaned_ = nullptr;
   Gauge* g_completed_request_ms_ = nullptr;   // request GPU-ms finished after warm-up
   Gauge* g_dispatched_request_ms_ = nullptr;  // cumulative arrival-weighted request GPU-ms
   Gauge* g_migration_gpu_ms_ = nullptr;
   Histogram* hist_latency_ms_ = nullptr;
   int failed_node_count_ = 0;
+  int partitioned_node_count_ = 0;
   std::vector<std::string> recovery_log_;
   TimeNs warmup_end_ = 0;
   TraceRecorder* trace_ = nullptr;
+
+  // Resilient-request slab (empty unless config_.resilience.enabled).
+  std::vector<RequestState> requests_;
+  std::vector<uint32_t> free_request_slots_;
+  // Per-model lifetime dispatch/retry counts backing the retry budget.
+  std::vector<uint64_t> model_dispatched_;
+  std::vector<uint64_t> model_retries_;
+  // Gray-node breaker: sim time until which new attempts avoid the
+  // (model, node) pair, indexed model * num_nodes + node. Tripped by an
+  // attempt timeout, cleared by a completion on the pair.
+  std::vector<TimeNs> quarantine_until_;
+  // Shed signal: fleet-wide outstanding GPU-ms and in-rotation node count,
+  // both maintained incrementally.
+  double total_outstanding_ms_ = 0;
+  int active_node_count_ = 0;
 };
 
 // Builds the full cluster stack, runs warmup + duration, and collects fleet

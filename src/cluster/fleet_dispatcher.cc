@@ -29,6 +29,33 @@ void FleetDispatcher::ReviveZone(int z) {
   }
 }
 
+void FleetDispatcher::PartitionZone(int z) {
+  LITHOS_CHECK_GE(z, 0);
+  LITHOS_CHECK_LT(z, static_cast<int>(zones_.size()));
+  for (int n = zones_[z].begin(); n < zones_[z].end(); ++n) {
+    PartitionNode(n);
+  }
+}
+
+void FleetDispatcher::HealZone(int z) {
+  LITHOS_CHECK_GE(z, 0);
+  LITHOS_CHECK_LT(z, static_cast<int>(zones_.size()));
+  for (int n = zones_[z].begin(); n < zones_[z].end(); ++n) {
+    HealNode(n);
+  }
+}
+
+bool FleetDispatcher::ZonePartitioned(int z) const {
+  LITHOS_CHECK_GE(z, 0);
+  LITHOS_CHECK_LT(z, static_cast<int>(zones_.size()));
+  for (int n = zones_[z].begin(); n < zones_[z].end(); ++n) {
+    if (!NodePartitioned(n)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 bool FleetDispatcher::ZoneFailed(int z) const {
   LITHOS_CHECK_GE(z, 0);
   LITHOS_CHECK_LT(z, static_cast<int>(zones_.size()));
@@ -50,6 +77,9 @@ ZoneSnapshot FleetDispatcher::SnapshotZone(int z) const {
   for (int n = zones_[z].begin(); n < zones_[z].end(); ++n) {
     if (NodeFailed(n)) {
       ++snap.failed_nodes;
+    }
+    if (NodePartitioned(n)) {
+      ++snap.partitioned_nodes;
     }
     if (NodeActive(n)) {
       ++snap.active_nodes;

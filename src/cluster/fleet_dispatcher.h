@@ -46,7 +46,8 @@ class Zone {
 struct ZoneSnapshot {
   int zone = 0;
   int nodes = 0;
-  int failed_nodes = 0;     // crashed and not yet repaired
+  int failed_nodes = 0;       // crashed and not yet repaired
+  int partitioned_nodes = 0;  // unreachable (computing, undeliverable)
   int active_nodes = 0;     // in the placement rotation
   double outstanding_ms = 0;  // queued-but-unfinished GPU-ms across the zone
   uint64_t dispatched = 0;  // lifetime requests routed into the zone
@@ -72,6 +73,18 @@ class FleetDispatcher : public ClusterDispatcher {
 
   // True when every node in the zone is currently failed.
   bool ZoneFailed(int z) const;
+
+  // Whole-zone network partition: every node keeps computing but becomes
+  // unreachable (idempotent per node). See ClusterDispatcher::PartitionNode
+  // for the gray-failure semantics.
+  void PartitionZone(int z);
+
+  // Heals every node in the zone, delivering deferred completions in finish
+  // order. Healed nodes rejoin out of rotation, like repaired ones.
+  void HealZone(int z);
+
+  // True when every node in the zone is currently partitioned.
+  bool ZonePartitioned(int z) const;
 
   ZoneSnapshot SnapshotZone(int z) const;
 

@@ -53,10 +53,26 @@ std::vector<PlacementPolicy> AllPlacementPolicies();
 struct ZoneTopology {
   int num_zones = 1;
   int zone_size = 0;  // nodes per zone; 0 = flat (everything in zone 0)
+  // Sub-zone failure domains: each zone splits into `racks_per_zone`
+  // contiguous racks (a PDU / ToR switch whose nodes crash together under
+  // rack-correlated faults). 1 keeps the pre-rack fleet: one rack per zone.
+  int racks_per_zone = 1;
 
   int ZoneOf(int node) const { return zone_size > 0 ? node / zone_size : 0; }
   int ZoneBegin(int zone) const { return zone * zone_size; }
   int ZoneEnd(int zone) const { return (zone + 1) * zone_size; }
+
+  // Nodes per rack (0 in the flat topology, like zone_size).
+  int RackSize() const { return racks_per_zone > 0 ? zone_size / racks_per_zone : zone_size; }
+  int NumRacks() const { return num_zones * racks_per_zone; }
+  // Rack index within a node's zone ([0, racks_per_zone)).
+  int RackOf(int node) const {
+    const int rack_size = RackSize();
+    return rack_size > 0 ? (node - ZoneBegin(ZoneOf(node))) / rack_size : 0;
+  }
+  // Node range of rack `rack` in zone `zone`: [RackBegin, RackEnd).
+  int RackBegin(int zone, int rack) const { return ZoneBegin(zone) + rack * RackSize(); }
+  int RackEnd(int zone, int rack) const { return RackBegin(zone, rack) + RackSize(); }
 };
 
 // Zone-interleaved ordering of `nodes` (ascending node ids in, round-robin

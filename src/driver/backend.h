@@ -35,6 +35,17 @@ class Backend {
   // (MIG, Limits, LithOS quotas) carve their allocations here.
   virtual void OnClientRegistered(const Client& client) { (void)client; }
 
+  // Aborts the stream's claimed in-flight head without completing it (the
+  // hedged-dispatch loser path, Driver::CancelLaunch): the backend must abort
+  // the grant through the engine, drop its own in-flight tracking, and pop
+  // the head so the stream FIFO advances. Returns false when this backend
+  // cannot abort (the default — e.g. atomized execution already in flight),
+  // in which case the kernel burns to completion normally.
+  virtual bool CancelInFlight(Stream* stream) {
+    (void)stream;
+    return false;
+  }
+
   // Experiment-harness hook: drop any state accumulated during warm-up.
   virtual void ResetAccounting() {}
 

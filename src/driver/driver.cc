@@ -64,6 +64,25 @@ void Stream::RequeueHead() {
   NotifyBackendIfReady();
 }
 
+bool Stream::CancelQueued(uint64_t launch_id) {
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].launch_id != launch_id) {
+      continue;
+    }
+    if (i == 0 && head_in_flight_) {
+      return false;  // claimed by the backend: only the abort path may end it
+    }
+    pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(i));
+    // Removing the dispatchable head may expose markers (fire them) or
+    // another kernel (hand it to the backend) — same protocol as a pop.
+    if (i == 0 && DrainMarkers()) {
+      NotifyBackendIfReady();
+    }
+    return true;
+  }
+  return false;
+}
+
 bool Stream::DrainMarkers() {
   while (!pending_.empty() && pending_.front().IsMarker()) {
     LaunchRecord rec = std::move(pending_.front());
@@ -117,15 +136,37 @@ Stream* Driver::CuStreamCreate(Client* client, StreamPriority priority) {
   return ptr;
 }
 
-void Driver::CuLaunchKernel(Stream* stream, const KernelDesc* kernel) {
+uint64_t Driver::CuLaunchKernel(Stream* stream, const KernelDesc* kernel) {
   LITHOS_CHECK(stream != nullptr);
   LITHOS_CHECK(backend_ != nullptr);
-  stream->EnqueueKernel(next_launch_id_++, kernel, sim_->Now());
+  const uint64_t id = next_launch_id_++;
+  stream->EnqueueKernel(id, kernel, sim_->Now());
+  return id;
 }
 
-void Driver::CuStreamAddCallback(Stream* stream, std::function<void()> cb) {
+uint64_t Driver::CuStreamAddCallback(Stream* stream, std::function<void()> cb) {
   LITHOS_CHECK(stream != nullptr);
-  stream->EnqueueMarker(next_launch_id_++, std::move(cb), sim_->Now());
+  const uint64_t id = next_launch_id_++;
+  // A marker on a drained stream fires inline inside EnqueueMarker; report
+  // id 0 (never a valid id) so callers know there is nothing left to cancel.
+  const bool fires_inline = stream->QueueDepth() == 0 && !stream->HeadInFlight();
+  stream->EnqueueMarker(id, std::move(cb), sim_->Now());
+  return fires_inline ? 0 : id;
+}
+
+bool Driver::CancelLaunch(Stream* stream, uint64_t launch_id) {
+  LITHOS_CHECK(stream != nullptr);
+  if (launch_id == 0) {
+    return false;  // already fired inline at enqueue
+  }
+  if (stream->CancelQueued(launch_id)) {
+    return true;
+  }
+  const LaunchRecord* head = stream->InFlightHead();
+  if (head != nullptr && head->launch_id == launch_id && backend_ != nullptr) {
+    return backend_->CancelInFlight(stream);
+  }
+  return false;
 }
 
 }  // namespace lithos

@@ -42,12 +42,21 @@ class Driver {
   // cuStreamCreate.
   Stream* CuStreamCreate(Client* client, StreamPriority priority = StreamPriority::kNormal);
 
-  // cuLaunchKernel: asynchronous; enqueues and returns immediately.
-  void CuLaunchKernel(Stream* stream, const KernelDesc* kernel);
+  // cuLaunchKernel: asynchronous; enqueues and returns immediately. The
+  // returned launch id names the operation for CancelLaunch.
+  uint64_t CuLaunchKernel(Stream* stream, const KernelDesc* kernel);
 
   // cuLaunchHostFunc / cuEventRecord + host callback: fires `cb` once all
-  // previously enqueued work on the stream has completed.
-  void CuStreamAddCallback(Stream* stream, std::function<void()> cb);
+  // previously enqueued work on the stream has completed. Returns the marker's
+  // launch id, or 0 when the stream was already drained and `cb` ran inline.
+  uint64_t CuStreamAddCallback(Stream* stream, std::function<void()> cb);
+
+  // Best-effort cancellation of a previously enqueued operation (the hedged
+  // dispatch loser): removes it from the stream FIFO if still queued, or asks
+  // the backend to abort it through the engine's abort path when it is the
+  // claimed in-flight head. Returns true when the operation will no longer
+  // run (its marker callback, if any, never fires).
+  bool CancelLaunch(Stream* stream, uint64_t launch_id);
 
   const std::vector<std::unique_ptr<Client>>& clients() const { return clients_; }
   const std::vector<std::unique_ptr<Stream>>& streams() const { return streams_; }

@@ -84,6 +84,13 @@ class Stream {
   // and must run again from scratch.
   void RequeueHead();
 
+  // Removes a still-queued operation (kernel or marker) by launch id without
+  // running it — the hedged-dispatch loser path. Returns false when the id is
+  // not queued here or is the claimed in-flight head (cancel that through the
+  // backend's abort path instead). Removing the dispatchable head re-drains
+  // markers and re-notifies the backend, exactly like CompleteHead.
+  bool CancelQueued(uint64_t launch_id);
+
  private:
   friend class Driver;
 

@@ -29,9 +29,43 @@ const char* FaultKindName(FaultKind kind) {
       return "power-cap";
     case FaultKind::kPowerCapEnd:
       return "power-uncap";
+    case FaultKind::kRackCrash:
+      return "rack-crash";
+    case FaultKind::kRackRepair:
+      return "rack-repair";
+    case FaultKind::kPartitionStart:
+      return "partition";
+    case FaultKind::kPartitionHeal:
+      return "partition-heal";
   }
   return "?";
 }
+
+namespace {
+
+// One repair delay. kFixed consumes no Rng draws (legacy schedules stay
+// byte-identical); the heavy-tailed distributions consume exactly one
+// logical draw each (LogNormal uses the Rng's Box-Muller pair internally,
+// Weibull inverts the CDF from a single uniform).
+DurationNs SampleRepair(const RepairModel& model, Rng& rng) {
+  double seconds = 0;
+  switch (model.dist) {
+    case RepairModel::Dist::kFixed:
+      return std::max<DurationNs>(model.fixed, model.min_repair);
+    case RepairModel::Dist::kLogNormal:
+      seconds = rng.LogNormal(model.lognormal_mu, model.lognormal_sigma);
+      break;
+    case RepairModel::Dist::kWeibull: {
+      const double u = rng.NextDouble();
+      seconds =
+          model.weibull_scale_s * std::pow(-std::log(1.0 - u), 1.0 / model.weibull_shape);
+      break;
+    }
+  }
+  return std::max<DurationNs>(FromSeconds(seconds), model.min_repair);
+}
+
+}  // namespace
 
 FaultInjector::FaultInjector(Simulator* sim, FleetDispatcher* fleet,
                              const FaultScenarioConfig& config)
@@ -39,29 +73,52 @@ FaultInjector::FaultInjector(Simulator* sim, FleetDispatcher* fleet,
   LITHOS_CHECK(fleet_ != nullptr);
   const int num_nodes = fleet_->config().num_nodes;
   const int num_zones = fleet_->num_zones();
+  const ZoneTopology& topo = fleet_->zone_topology();
   fail_causes_.assign(num_nodes, 0);
   straggle_causes_.assign(num_nodes, 0);
+  partition_causes_.assign(num_nodes, 0);
   zone_cap_.assign(num_zones, 1.0);
 
   // Scripted events first, in declaration order.
   for (const ZoneOutageSpec& outage : config_.zone_outages) {
     LITHOS_CHECK_GE(outage.zone, 0);
     LITHOS_CHECK_LT(outage.zone, num_zones);
-    schedule_.push_back({outage.at, FaultKind::kZoneOutage, outage.zone, -1, 0.0});
-    schedule_.push_back({outage.at + outage.duration, FaultKind::kZoneRepair, outage.zone, -1, 1.0});
+    schedule_.push_back({outage.at, FaultKind::kZoneOutage, outage.zone, -1, -1, 0.0});
+    schedule_.push_back(
+        {outage.at + outage.duration, FaultKind::kZoneRepair, outage.zone, -1, -1, 1.0});
   }
   for (const PowerCapSpec& cap : config_.power_caps) {
     LITHOS_CHECK_GE(cap.zone, 0);
     LITHOS_CHECK_LT(cap.zone, num_zones);
     LITHOS_CHECK_GT(cap.freq_fraction, 0.0);
-    schedule_.push_back({cap.at, FaultKind::kPowerCapStart, cap.zone, -1, cap.freq_fraction});
-    schedule_.push_back({cap.at + cap.duration, FaultKind::kPowerCapEnd, cap.zone, -1, 1.0});
+    schedule_.push_back({cap.at, FaultKind::kPowerCapStart, cap.zone, -1, -1, cap.freq_fraction});
+    schedule_.push_back({cap.at + cap.duration, FaultKind::kPowerCapEnd, cap.zone, -1, -1, 1.0});
+  }
+  for (const PartitionSpec& part : config_.partitions) {
+    LITHOS_CHECK_GE(part.zone, 0);
+    LITHOS_CHECK_LT(part.zone, num_zones);
+    schedule_.push_back({part.at, FaultKind::kPartitionStart, part.zone, -1, -1, 0.0});
+    schedule_.push_back(
+        {part.at + part.duration, FaultKind::kPartitionHeal, part.zone, -1, -1, 1.0});
+  }
+  for (const RackCrashSpec& rc : config_.rack_crashes) {
+    LITHOS_CHECK_GE(rc.zone, 0);
+    LITHOS_CHECK_LT(rc.zone, num_zones);
+    LITHOS_CHECK_GE(rc.rack, 0);
+    LITHOS_CHECK_LT(rc.rack, topo.racks_per_zone);
+    schedule_.push_back({rc.at, FaultKind::kRackCrash, rc.zone, -1, rc.rack, 0.0});
+    schedule_.push_back({rc.at + rc.duration, FaultKind::kRackRepair, rc.zone, -1, rc.rack, 1.0});
   }
 
   // Random processes: one seeded generator, drawn in a fixed order (all
-  // crashes, then all stragglers), so the schedule is a pure function of
-  // the config.
+  // crashes, then all stragglers, then all rack crashes — new processes
+  // append after the legacy ones so configs that never enable them draw an
+  // identical sequence), keeping the schedule a pure function of the config.
+  // Repair durations draw from their own stream so switching the repair
+  // distribution (fixed vs heavy-tailed) never perturbs the crash instants:
+  // the same seed replays the same incident timeline under any repair model.
   Rng rng(config_.seed * 0x9E3779B97F4A7C15ULL + 0xFA01Du);
+  Rng repair_rng(config_.seed * 0x9E3779B97F4A7C15ULL + 0x5EFA12u);
   if (config_.crashes_per_second > 0 && config_.horizon > 0) {
     TimeNs t = 0;
     while (true) {
@@ -70,9 +127,10 @@ FaultInjector::FaultInjector(Simulator* sim, FleetDispatcher* fleet,
         break;
       }
       const int node = static_cast<int>(rng.UniformInt(0, num_nodes - 1));
-      schedule_.push_back({t, FaultKind::kNodeCrash, fleet_->ZoneOfNode(node), node, 0.0});
+      const DurationNs repair = SampleRepair(config_.crash_repair, repair_rng);
+      schedule_.push_back({t, FaultKind::kNodeCrash, fleet_->ZoneOfNode(node), node, -1, 0.0});
       schedule_.push_back(
-          {t + config_.crash_repair, FaultKind::kNodeRepair, fleet_->ZoneOfNode(node), node, 1.0});
+          {t + repair, FaultKind::kNodeRepair, fleet_->ZoneOfNode(node), node, -1, 1.0});
     }
   }
   if (config_.stragglers_per_second > 0 && config_.horizon > 0) {
@@ -84,10 +142,26 @@ FaultInjector::FaultInjector(Simulator* sim, FleetDispatcher* fleet,
         break;
       }
       const int node = static_cast<int>(rng.UniformInt(0, num_nodes - 1));
-      schedule_.push_back({t, FaultKind::kStragglerStart, fleet_->ZoneOfNode(node), node,
+      schedule_.push_back({t, FaultKind::kStragglerStart, fleet_->ZoneOfNode(node), node, -1,
                            config_.straggler_slowdown});
       schedule_.push_back({t + config_.straggler_duration, FaultKind::kStragglerEnd,
-                           fleet_->ZoneOfNode(node), node, 1.0});
+                           fleet_->ZoneOfNode(node), node, -1, 1.0});
+    }
+  }
+  if (config_.rack_crashes_per_second > 0 && config_.horizon > 0) {
+    LITHOS_CHECK_GT(topo.NumRacks(), 0);
+    TimeNs t = 0;
+    while (true) {
+      t += FromSeconds(rng.Exponential(1.0 / config_.rack_crashes_per_second));
+      if (t >= config_.horizon) {
+        break;
+      }
+      const int grack = static_cast<int>(rng.UniformInt(0, topo.NumRacks() - 1));
+      const int zone = grack / topo.racks_per_zone;
+      const int rack = grack % topo.racks_per_zone;
+      const DurationNs repair = SampleRepair(config_.rack_repair, repair_rng);
+      schedule_.push_back({t, FaultKind::kRackCrash, zone, -1, rack, 0.0});
+      schedule_.push_back({t + repair, FaultKind::kRackRepair, zone, -1, rack, 1.0});
     }
   }
 
@@ -100,7 +174,11 @@ FaultInjector::FaultInjector(Simulator* sim, FleetDispatcher* fleet,
 
 std::string FaultInjector::FormatEvent(const FaultEvent& event) {
   char line[112];
-  if (event.node >= 0) {
+  if (event.rack >= 0) {
+    std::snprintf(line, sizeof(line), "t=%lldns %s zone=%d rack=%d factor=%.3f",
+                  static_cast<long long>(event.at), FaultKindName(event.kind), event.zone,
+                  event.rack, event.factor);
+  } else if (event.node >= 0) {
     std::snprintf(line, sizeof(line), "t=%lldns %s node=%d zone=%d factor=%.3f",
                   static_cast<long long>(event.at), FaultKindName(event.kind), event.node,
                   event.zone, event.factor);
@@ -135,6 +213,16 @@ void FaultInjector::FailCause(int node, int delta) {
     fleet_->FailNode(node);
   } else if (delta < 0 && fail_causes_[node] == 0) {
     fleet_->ReviveNode(node);
+  }
+}
+
+void FaultInjector::PartitionCause(int node, int delta) {
+  partition_causes_[node] += delta;
+  LITHOS_CHECK_GE(partition_causes_[node], 0);
+  if (delta > 0 && partition_causes_[node] == 1) {
+    fleet_->PartitionNode(node);
+  } else if (delta < 0 && partition_causes_[node] == 0) {
+    fleet_->HealNode(node);
   }
 }
 
@@ -187,6 +275,34 @@ void FaultInjector::Apply(const FaultEvent& event) {
       zone_cap_[event.zone] = 1.0;
       for (int n = fleet_->zone(event.zone).begin(); n < fleet_->zone(event.zone).end(); ++n) {
         ApplyFrequency(n);
+      }
+      break;
+    case FaultKind::kRackCrash: {
+      ++rack_crashes_;
+      const ZoneTopology& topo = fleet_->zone_topology();
+      for (int n = topo.RackBegin(event.zone, event.rack);
+           n < topo.RackEnd(event.zone, event.rack); ++n) {
+        FailCause(n, +1);
+      }
+      break;
+    }
+    case FaultKind::kRackRepair: {
+      const ZoneTopology& topo = fleet_->zone_topology();
+      for (int n = topo.RackBegin(event.zone, event.rack);
+           n < topo.RackEnd(event.zone, event.rack); ++n) {
+        FailCause(n, -1);
+      }
+      break;
+    }
+    case FaultKind::kPartitionStart:
+      ++partitions_;
+      for (int n = fleet_->zone(event.zone).begin(); n < fleet_->zone(event.zone).end(); ++n) {
+        PartitionCause(n, +1);
+      }
+      break;
+    case FaultKind::kPartitionHeal:
+      for (int n = fleet_->zone(event.zone).begin(); n < fleet_->zone(event.zone).end(); ++n) {
+        PartitionCause(n, -1);
       }
       break;
   }

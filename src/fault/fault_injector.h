@@ -4,10 +4,12 @@
 // schedule of fault events — node crashes with repairs, stragglers (DVFS
 // slowdown for a bounded window), zone-wide power caps, and whole-zone
 // outages — and arms them on the shared simulator clock. Everything is a
-// pure function of the scenario config: the random components draw from one
-// seeded Rng at construction, the schedule is sorted by (time, generation
-// order), and application happens through the dispatcher/engine hooks on
-// the deterministic event queue. Same config -> byte-identical schedule,
+// pure function of the scenario config: the random components draw from
+// seeded Rngs at construction (incident times/victims and repair durations
+// use separate streams, so changing the repair model never perturbs the
+// incident timeline), the schedule is sorted by (time, generation order),
+// and application happens through the dispatcher/engine hooks on the
+// deterministic event queue. Same config -> byte-identical schedule,
 // byte-identical applied-fault trace, byte-identical recovery — across
 // runs and across SweepRunner `--jobs` values (the replay tests enforce
 // this).
@@ -49,6 +51,64 @@ struct PowerCapSpec {
   double freq_fraction = 0.7;
 };
 
+// A scripted network partition: the zone keeps computing but is unreachable
+// for `duration` — dispatch to it fails fast, completions finishing behind
+// the partition are deferred and delivered (or orphaned) on heal. See
+// ClusterDispatcher::PartitionNode for the gray-failure semantics.
+struct PartitionSpec {
+  int zone = 0;
+  TimeNs at = 0;
+  DurationNs duration = FromSeconds(1);
+};
+
+// A scripted rack-correlated crash: every node of rack `rack` (sub-zone
+// failure domain, ZoneTopology::racks_per_zone) in `zone` crashes at `at`
+// and is repaired `duration` later.
+struct RackCrashSpec {
+  int zone = 0;
+  int rack = 0;
+  TimeNs at = 0;
+  DurationNs duration = FromSeconds(2);
+};
+
+// Repair-time distribution for the random crash processes. The default
+// converts implicitly from a DurationNs, so legacy configs that assign
+// `crash_repair = FromMillis(1500)` keep compiling — and keep drawing
+// *nothing* from the schedule Rng, so their pre-generated schedules stay
+// byte-identical. The heavy-tailed alternatives (lognormal / Weibull with
+// shape < 1) model real fleet repairs: most reboots are quick, a few need a
+// technician. Samples are drawn during schedule pre-generation from a
+// repair-only Rng stream (one draw per crash event), so the same seed
+// replays the same crash instants and victims under any repair model.
+struct RepairModel {
+  enum class Dist { kFixed, kLogNormal, kWeibull };
+  Dist dist = Dist::kFixed;
+  DurationNs fixed = FromSeconds(2);
+  double lognormal_mu = 0.0;     // ln(seconds)
+  double lognormal_sigma = 1.0;
+  double weibull_shape = 0.7;    // < 1 = heavy-tailed
+  double weibull_scale_s = 2.0;  // seconds
+  // Samples are clamped below to this floor (a repair takes nonzero time).
+  DurationNs min_repair = FromMillis(1);
+
+  RepairModel() = default;
+  RepairModel(DurationNs fixed_delay) : fixed(fixed_delay) {}  // NOLINT: compat
+  static RepairModel LogNormal(double mu_ln_seconds, double sigma) {
+    RepairModel m;
+    m.dist = Dist::kLogNormal;
+    m.lognormal_mu = mu_ln_seconds;
+    m.lognormal_sigma = sigma;
+    return m;
+  }
+  static RepairModel Weibull(double shape, double scale_seconds) {
+    RepairModel m;
+    m.dist = Dist::kWeibull;
+    m.weibull_shape = shape;
+    m.weibull_scale_s = scale_seconds;
+    return m;
+  }
+};
+
 struct FaultScenarioConfig {
   // Shown in bench tables; also a convenient grid key.
   std::string name = "healthy";
@@ -60,9 +120,9 @@ struct FaultScenarioConfig {
 
   // Fleet-wide Poisson rate of independent node crashes (crashes per
   // simulated second, victim uniform over the pool); each crash is repaired
-  // `crash_repair` later.
+  // after a delay drawn from `crash_repair` (fixed by default).
   double crashes_per_second = 0;
-  DurationNs crash_repair = FromSeconds(2);
+  RepairModel crash_repair = RepairModel(FromSeconds(2));
 
   // Fleet-wide Poisson rate of straggler onsets: the victim runs at
   // `straggler_slowdown` of its max clock for `straggler_duration`.
@@ -70,8 +130,16 @@ struct FaultScenarioConfig {
   double straggler_slowdown = 0.5;
   DurationNs straggler_duration = FromMillis(800);
 
+  // Fleet-wide Poisson rate of rack-correlated crash groups: the victim rack
+  // (uniform over all racks) crashes as one failure domain and is repaired
+  // after a delay drawn from `rack_repair`.
+  double rack_crashes_per_second = 0;
+  RepairModel rack_repair = RepairModel(FromSeconds(2));
+
   std::vector<ZoneOutageSpec> zone_outages;
   std::vector<PowerCapSpec> power_caps;
+  std::vector<PartitionSpec> partitions;
+  std::vector<RackCrashSpec> rack_crashes;
 };
 
 enum class FaultKind {
@@ -83,6 +151,11 @@ enum class FaultKind {
   kZoneRepair,
   kPowerCapStart,
   kPowerCapEnd,
+  // Values are traced (kFaultApplied's arg): append only, never renumber.
+  kRackCrash,
+  kRackRepair,
+  kPartitionStart,
+  kPartitionHeal,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -92,6 +165,7 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kNodeCrash;
   int zone = -1;    // zone-scoped events
   int node = -1;    // node-scoped events
+  int rack = -1;    // rack-scoped events (index within the zone)
   double factor = 1.0;  // clock fraction for straggler / power-cap starts
 };
 
@@ -121,6 +195,8 @@ class FaultInjector {
   uint64_t zone_outages() const { return zone_outages_; }
   uint64_t stragglers() const { return stragglers_; }
   uint64_t power_caps() const { return power_caps_; }
+  uint64_t rack_crashes() const { return rack_crashes_; }
+  uint64_t partitions() const { return partitions_; }
 
   // Attaches a binary trace recorder (nullptr detaches): every applied
   // fault appends a TraceLayer::kFault record (arg = FaultKind,
@@ -133,6 +209,7 @@ class FaultInjector {
   // straggler state and its zone's cap (most restrictive wins).
   void ApplyFrequency(int node);
   void FailCause(int node, int delta);
+  void PartitionCause(int node, int delta);
   static std::string FormatEvent(const FaultEvent& event);
 
   Simulator* sim_;
@@ -145,6 +222,7 @@ class FaultInjector {
   // node when the crash's own repair timer fires first).
   std::vector<int> fail_causes_;      // node -> active failure causes
   std::vector<int> straggle_causes_;  // node -> active straggler windows
+  std::vector<int> partition_causes_; // node -> active partition windows
   std::vector<double> zone_cap_;      // zone -> clock fraction (1 = uncapped)
 
   std::vector<std::string> trace_;
@@ -153,6 +231,8 @@ class FaultInjector {
   uint64_t zone_outages_ = 0;
   uint64_t stragglers_ = 0;
   uint64_t power_caps_ = 0;
+  uint64_t rack_crashes_ = 0;
+  uint64_t partitions_ = 0;
 };
 
 }  // namespace lithos

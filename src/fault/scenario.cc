@@ -90,8 +90,17 @@ FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
   result.node_crashes = injector.node_crashes();
   result.zone_outages = injector.zone_outages();
   result.stragglers = injector.stragglers();
+  result.rack_crashes = injector.rack_crashes();
+  result.partitions = injector.partitions();
   result.failed_requests = fleet.failed();
   result.recoveries = static_cast<uint64_t>(fleet.recovery_log().size());
+  result.retries = fleet.metrics().counter("fleet/retries").value();
+  result.hedges = fleet.metrics().counter("fleet/hedges").value();
+  result.hedge_wins = fleet.metrics().counter("fleet/hedge_wins").value();
+  result.timeouts = fleet.metrics().counter("fleet/timeouts").value();
+  result.shed = fleet.metrics().counter("fleet/shed").value();
+  result.deferred_delivered = fleet.metrics().counter("fleet/deferred_delivered").value();
+  result.deferred_orphaned = fleet.metrics().counter("fleet/deferred_orphaned").value();
   result.events_fired = sim.events_fired();
   result.sim = sim.counters();
   result.metric_phases = fleet.metrics().phases();

@@ -80,8 +80,19 @@ struct FleetFaultResult {
   uint64_t node_crashes = 0;
   uint64_t zone_outages = 0;
   uint64_t stragglers = 0;
+  uint64_t rack_crashes = 0;     // rack-correlated crash groups applied
+  uint64_t partitions = 0;       // zone partitions applied
   uint64_t failed_requests = 0;  // lifetime, across all phases and gaps
   uint64_t recoveries = 0;       // recovery-log entries
+  // Request-level resilience traffic (lifetime fleet/* counters; zero when
+  // the resilient dispatch path is disabled).
+  uint64_t retries = 0;
+  uint64_t hedges = 0;
+  uint64_t hedge_wins = 0;
+  uint64_t timeouts = 0;
+  uint64_t shed = 0;
+  uint64_t deferred_delivered = 0;
+  uint64_t deferred_orphaned = 0;
   uint64_t events_fired = 0;     // simulator events over the whole run
   SimCounters sim;               // full event-core counters for the run
   // Registry snapshots, one per phase in order: every fleet/* counter as

@@ -43,6 +43,15 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kPowerOff: return "power_off";
     case TraceKind::kPowerOn: return "power_on";
     case TraceKind::kFaultApplied: return "fault_applied";
+    case TraceKind::kNodePartition: return "node_partition";
+    case TraceKind::kNodeHeal: return "node_heal";
+    case TraceKind::kDeferredCompletion: return "deferred_completion";
+    case TraceKind::kDeferredDelivered: return "deferred_delivered";
+    case TraceKind::kDeferredOrphaned: return "deferred_orphaned";
+    case TraceKind::kRequestRetry: return "request_retry";
+    case TraceKind::kRequestHedge: return "request_hedge";
+    case TraceKind::kRequestShed: return "request_shed";
+    case TraceKind::kRequestTimeout: return "request_timeout";
   }
   return "unknown";
 }

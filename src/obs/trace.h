@@ -80,6 +80,18 @@ enum class TraceKind : uint8_t {
 
   // TraceLayer::kFault — arg = FaultKind enum value.
   kFaultApplied = 40,  // payload = factor in parts-per-million (when scalar)
+
+  // TraceLayer::kCluster, resilience decade (20-28 is full) — arg = model
+  // index unless noted.
+  kNodePartition = 50,      // arg = -1; payload = outstanding GPU work (ns)
+  kNodeHeal = 51,           // arg = -1; payload = partition duration (ns); spans
+  kDeferredCompletion = 52, // completion finished behind a partition
+  kDeferredDelivered = 53,  // payload = request latency at delivery (ns)
+  kDeferredOrphaned = 54,   // deferred completion was stale or a duplicate
+  kRequestRetry = 55,       // node = retry target, payload = attempt number
+  kRequestHedge = 56,       // node = hedge target
+  kRequestShed = 57,        // payload = outstanding watermark excess (ns)
+  kRequestTimeout = 58,     // node = timed-out target, payload = attempt number
 };
 
 const char* TraceLayerName(TraceLayer layer);

@@ -298,5 +298,315 @@ TEST(FaultReplayTest, SweepGridIsByteIdenticalAcrossJobs) {
   EXPECT_EQ(serial, parallel);
 }
 
+// --- Partition (gray failure) semantics --------------------------------------
+
+TEST(PartitionTest, PartitionDefersThenHealDelivers) {
+  Simulator sim;
+  FleetDispatcher fleet(&sim, ZonedConfig(2, 2, PlacementPolicy::kLeastLoaded));
+  const int node = fleet.Dispatch(0);
+  ASSERT_GE(node, 0);
+
+  fleet.PartitionNode(node);
+  EXPECT_TRUE(fleet.NodePartitioned(node));
+  EXPECT_FALSE(fleet.NodeActive(node));
+  EXPECT_EQ(fleet.partitioned_node_count(), 1);
+
+  // The kernel finishes behind the partition: the completion is deferred,
+  // not delivered and not written off.
+  sim.RunToCompletion();
+  EXPECT_EQ(fleet.completed(), 0u);
+  EXPECT_EQ(fleet.failed(), 0u);
+  EXPECT_EQ(fleet.metrics().counter("fleet/deferred").value(), 1u);
+
+  // Heal: the buffered completion is delivered; the node rejoins out of
+  // rotation like a repaired one.
+  fleet.HealNode(node);
+  EXPECT_FALSE(fleet.NodePartitioned(node));
+  EXPECT_EQ(fleet.partitioned_node_count(), 0);
+  EXPECT_EQ(fleet.completed(), 1u);
+  EXPECT_EQ(fleet.metrics().counter("fleet/deferred_delivered").value(), 1u);
+  EXPECT_FALSE(fleet.NodeActive(node));
+}
+
+TEST(PartitionTest, CrashDuringPartitionOrphansDeferredWork) {
+  Simulator sim;
+  FleetDispatcher fleet(&sim, ZonedConfig(2, 2, PlacementPolicy::kLeastLoaded));
+  const int node = fleet.Dispatch(0);
+  ASSERT_GE(node, 0);
+  fleet.PartitionNode(node);
+  sim.RunToCompletion();
+  EXPECT_EQ(fleet.metrics().counter("fleet/deferred").value(), 1u);
+
+  // The partitioned host dies before the partition heals: its buffered
+  // completion is from a dead epoch, so heal orphans it instead of
+  // delivering stale state.
+  fleet.FailNode(node);
+  fleet.HealNode(node);
+  EXPECT_EQ(fleet.completed(), 0u);
+  EXPECT_EQ(fleet.failed(), 1u);
+  EXPECT_EQ(fleet.metrics().counter("fleet/deferred_delivered").value(), 0u);
+  EXPECT_EQ(fleet.metrics().counter("fleet/deferred_orphaned").value(), 1u);
+}
+
+TEST(PartitionTest, LegacyDispatchFailsFastIntoPartitionedPool) {
+  Simulator sim;
+  FleetDispatcher fleet(&sim, ZonedConfig(2, 2));
+  fleet.PartitionZone(0);
+  fleet.PartitionZone(1);
+  EXPECT_TRUE(fleet.ZonePartitioned(0));
+  EXPECT_TRUE(fleet.ZonePartitioned(1));
+
+  // With every replica unreachable the placer's last resort still names a
+  // node; the write-off path fails the request at admission instead of
+  // launching onto an unreachable host.
+  fleet.Dispatch(0);
+  EXPECT_EQ(fleet.failed(), 1u);
+  EXPECT_EQ(fleet.completed(), 0u);
+  sim.RunToCompletion();
+}
+
+// --- Rack-correlated crashes -------------------------------------------------
+
+TEST(RackTest, ScriptedRackCrashFailsExactlyTheRack) {
+  Simulator sim;
+  ClusterConfig cc = ZonedConfig(2, 4);
+  cc.racks_per_zone = 2;  // 2-node racks
+  FleetDispatcher fleet(&sim, cc);
+
+  FaultScenarioConfig scenario;
+  scenario.seed = 3;
+  scenario.rack_crashes = {{/*zone=*/1, /*rack=*/0, FromSeconds(1), FromMillis(500)}};
+  FaultInjector injector(&sim, &fleet, scenario);
+  injector.Arm();
+
+  sim.RunUntil(FromMillis(1200));
+  const ZoneTopology& topo = fleet.zone_topology();
+  for (int n = 0; n < cc.num_nodes; ++n) {
+    const bool in_rack = topo.ZoneOf(n) == 1 && topo.RackOf(n) == 0;
+    EXPECT_EQ(fleet.NodeFailed(n), in_rack) << "node " << n;
+  }
+  EXPECT_EQ(injector.rack_crashes(), 1u);
+
+  sim.RunUntil(FromSeconds(2));
+  EXPECT_EQ(fleet.failed_node_count(), 0);
+}
+
+TEST(RackTest, RandomRackProcessTargetsWholeRacks) {
+  Simulator sim;
+  ClusterConfig cc = ZonedConfig(2, 4);
+  cc.racks_per_zone = 2;
+  FleetDispatcher fleet(&sim, cc);
+
+  FaultScenarioConfig scenario;
+  scenario.seed = 21;
+  scenario.horizon = FromSeconds(10);
+  scenario.rack_crashes_per_second = 1.0;
+  scenario.rack_repair = RepairModel::Weibull(0.7, 0.5);
+  FaultInjector injector(&sim, &fleet, scenario);
+
+  // Every scheduled rack event names a zone and a valid rack, and crashes
+  // and repairs pair up.
+  int crashes = 0, repairs = 0;
+  for (const std::string& line : injector.ScheduleLines()) {
+    if (line.find("rack-crash") != std::string::npos) {
+      ++crashes;
+      EXPECT_NE(line.find("rack="), std::string::npos) << line;
+    } else if (line.find("rack-repair") != std::string::npos) {
+      ++repairs;
+    }
+  }
+  EXPECT_GT(crashes, 0);
+  EXPECT_EQ(crashes, repairs);
+}
+
+// --- Repair-time distributions -----------------------------------------------
+
+TEST(FaultReplayTest, RepairDistributionDoesNotPerturbCrashDraws) {
+  // Heavy-tailed repairs sample the schedule Rng *after* each crash's own
+  // time/victim draws, and the fixed default samples nothing — so switching
+  // the repair model must leave every crash instant and victim unchanged.
+  FaultScenarioConfig fixed;
+  fixed.seed = 9;
+  fixed.horizon = FromSeconds(5);
+  fixed.crashes_per_second = 2.0;
+  fixed.crash_repair = FromMillis(700);
+  FaultScenarioConfig heavy = fixed;
+  heavy.crash_repair = RepairModel::Weibull(0.7, 2.0);
+
+  Simulator sim;
+  FleetDispatcher fleet(&sim, ZonedConfig(2, 2));
+  FaultInjector injector_fixed(&sim, &fleet, fixed);
+  FaultInjector injector_heavy(&sim, &fleet, heavy);
+
+  auto crash_lines = [](const FaultInjector& injector) {
+    std::vector<std::string> lines;
+    for (const std::string& line : injector.ScheduleLines()) {
+      if (line.find(" crash ") != std::string::npos) {
+        lines.push_back(line);
+      }
+    }
+    return lines;
+  };
+  const std::vector<std::string> a = crash_lines(injector_fixed);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, crash_lines(injector_heavy));
+  // The repair *delays* differ, though: heavy-tailed repairs are sampled.
+  EXPECT_NE(injector_fixed.ScheduleLines(), injector_heavy.ScheduleLines());
+
+  // And the sampled schedule is itself a pure function of the config.
+  FaultInjector injector_heavy2(&sim, &fleet, heavy);
+  EXPECT_EQ(injector_heavy.ScheduleLines(), injector_heavy2.ScheduleLines());
+}
+
+// --- Config validation -------------------------------------------------------
+
+TEST(FaultValidationTest, RejectsOutOfRangeZoneAndRack) {
+  Simulator sim;
+  FleetDispatcher fleet(&sim, ZonedConfig(2, 2));
+
+  FaultScenarioConfig bad_partition;
+  bad_partition.partitions = {{/*zone=*/5, FromSeconds(1), FromSeconds(1)}};
+  EXPECT_DEATH(FaultInjector(&sim, &fleet, bad_partition), "zone");
+
+  FaultScenarioConfig bad_rack;
+  bad_rack.rack_crashes = {{/*zone=*/0, /*rack=*/3, FromSeconds(1), FromSeconds(1)}};
+  EXPECT_DEATH(FaultInjector(&sim, &fleet, bad_rack), "rack");
+
+  FaultScenarioConfig bad_outage;
+  bad_outage.zone_outages = {{/*zone=*/-1, FromSeconds(1), FromSeconds(1)}};
+  EXPECT_DEATH(FaultInjector(&sim, &fleet, bad_outage), "zone");
+}
+
+// --- Request-level resilience ------------------------------------------------
+
+// Rack-crash + zone-partition composite at test scale: 16 nodes in 4 zones
+// of two 2-node racks, loaded enough that faults catch work in flight. The
+// scripted instants sit off the 250ms control grid so there is a real
+// exposure window before the controller re-places replicas.
+FleetFaultConfig ResilienceScenario(bool resilient) {
+  FleetFaultConfig config;
+  config.cluster = ZonedConfig(4, 4);
+  config.cluster.racks_per_zone = 2;
+  config.cluster.aggregate_rps = 1500.0;
+  config.cluster.resilience.enabled = resilient;
+  config.scaling = ScalingPolicyKind::kStaticPeak;
+  config.max_migrations_per_period = 8;
+  config.faults.name = "rack+partition";
+  config.faults.seed = 11;
+  config.faults.partitions = {{/*zone=*/0, FromSeconds(2) + FromMillis(20), FromSeconds(1)}};
+  config.faults.rack_crashes = {
+      {/*zone=*/1, /*rack=*/0, FromSeconds(2) + FromMillis(120), FromMillis(700)},
+      {/*zone=*/0, /*rack=*/1, FromSeconds(2) + FromMillis(420), FromMillis(700)},
+  };
+  config.phases = {{"pre", FromSeconds(1), FromSeconds(2)},
+                   {"during", FromSeconds(2), FromSeconds(3)},
+                   {"post", FromMillis(3500), FromMillis(5500)}};
+  return config;
+}
+
+TEST(ResilienceTest, RetryRecoversWorkWrittenOffByLegacyPath) {
+  const FleetFaultResult writeoff = RunFleetFaultScenario(ResilienceScenario(false));
+  const FleetFaultResult resilient = RunFleetFaultScenario(ResilienceScenario(true));
+
+  EXPECT_EQ(writeoff.partitions, 1u);
+  EXPECT_EQ(writeoff.rack_crashes, 2u);
+  EXPECT_EQ(writeoff.retries, 0u);
+
+  EXPECT_GT(writeoff.failed_requests, 0u);
+  EXPECT_LT(resilient.failed_requests, writeoff.failed_requests);
+  EXPECT_GT(resilient.retries, 0u);
+  // Recovery: the resilient post phase serves goodput comparable to pre.
+  ASSERT_EQ(resilient.phases.size(), 3u);
+  EXPECT_GE(resilient.phases[2].goodput_ms_per_s,
+            0.9 * resilient.phases[0].goodput_ms_per_s);
+}
+
+TEST(ResilienceTest, HedgeFirstCompletionWinsWithoutDoubleCounting) {
+  FleetFaultConfig config = ResilienceScenario(true);
+  config.cluster.resilience.hedge = true;
+  config.cluster.resilience.hedge_delay = FromMillis(2);
+  const FleetFaultResult r = RunFleetFaultScenario(config);
+
+  EXPECT_GT(r.hedges, 0u);
+  EXPECT_GT(r.hedge_wins, 0u);
+  // First completion wins exactly once: no phase completes meaningfully more
+  // requests than were dispatched into it (small carryover crosses phase
+  // boundaries; duplicated completions would roughly double the count).
+  for (const FaultPhaseStats& phase : r.phases) {
+    EXPECT_LE(phase.completed, phase.dispatched + 25) << phase.name;
+  }
+}
+
+TEST(ResilienceTest, ShedBoundsOutstandingWork) {
+  Simulator sim;
+  ClusterConfig cc = ZonedConfig(1, 2);
+  cc.resilience.enabled = true;
+  cc.resilience.shed_watermark_ms = 5.0;
+  FleetDispatcher fleet(&sim, cc);
+
+  // Slam 200 arrivals into a 2-node pool without letting the sim drain:
+  // admission control must kick in and cap the queued backlog.
+  const int num_models = static_cast<int>(fleet.models().size());
+  for (int i = 0; i < 200; ++i) {
+    fleet.Dispatch(i % num_models);
+  }
+  EXPECT_GT(fleet.metrics().counter("fleet/shed").value(), 0u);
+  double total_ms = 0;
+  for (double ms : fleet.outstanding_ms()) {
+    total_ms += ms;
+  }
+  // Bounded by watermark * active nodes plus at most one admitted request
+  // (+ its switch kernel) per node beyond the threshold.
+  EXPECT_LE(total_ms, 5.0 * 2 + 100.0);
+  sim.RunToCompletion();
+}
+
+TEST(FaultReplayTest, ResilienceGridIsByteIdenticalAcrossJobs) {
+  // The resilience bench's CI property at test scale: the full rack+partition
+  // schedule, replayed under both policies through SweepRunner at --jobs 1,
+  // 2, and 8, serializes to identical bytes.
+  auto run_grid = [](int jobs) {
+    SweepRunner runner(jobs);
+    std::vector<SweepPoint<std::string>> points;
+    for (const bool resilient : {false, true}) {
+      points.push_back({resilient ? "resilient" : "write-off", [resilient] {
+                          FleetFaultConfig config = ResilienceScenario(resilient);
+                          config.cluster.resilience.hedge = resilient;
+                          const FleetFaultResult r = RunFleetFaultScenario(config);
+                          std::string blob;
+                          for (const std::string& line : r.fault_trace) {
+                            blob += line + "\n";
+                          }
+                          for (const std::string& line : r.recovery_log) {
+                            blob += line + "\n";
+                          }
+                          blob += std::to_string(r.failed_requests) + " " +
+                                  std::to_string(r.retries) + " " +
+                                  std::to_string(r.hedges) + " " +
+                                  std::to_string(r.hedge_wins) + " " +
+                                  std::to_string(r.timeouts) + " " +
+                                  std::to_string(r.deferred_delivered) + " " +
+                                  std::to_string(r.deferred_orphaned) + "\n";
+                          for (const FaultPhaseStats& p : r.phases) {
+                            blob += p.name + " " + std::to_string(p.completed) + " " +
+                                    std::to_string(p.failed) + " " + std::to_string(p.p99_ms) +
+                                    " " + std::to_string(p.goodput_ms_per_s) + "\n";
+                          }
+                          return blob;
+                        }});
+    }
+    std::string all;
+    for (const std::string& blob : runner.Run(points)) {
+      all += blob;
+    }
+    return all;
+  };
+
+  const std::string serial = run_grid(1);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run_grid(2));
+  EXPECT_EQ(serial, run_grid(8));
+}
+
 }  // namespace
 }  // namespace lithos

@@ -89,6 +89,10 @@ bool SpanDurationNs(const TraceRecord& r, int64_t* duration_ns, const char** nam
       *duration_ns = r.payload;
       *name = "node-down";
       return true;
+    case TraceKind::kNodeHeal:
+      *duration_ns = r.payload;
+      *name = "partitioned";
+      return true;
     default:
       return false;
   }
