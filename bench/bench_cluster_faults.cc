@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
   trace.SetLayerMask(TraceRecorder::LayerBit(TraceLayer::kCluster) |
                      TraceRecorder::LayerBit(TraceLayer::kControl) |
                      TraceRecorder::LayerBit(TraceLayer::kFault));
+  bench::ApplyTraceMask(trace, opts);
   TraceRecorder* recorder = opts.trace_path.empty() ? nullptr : &trace;
 
   struct GridPoint {

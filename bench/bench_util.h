@@ -32,6 +32,9 @@ namespace lithos::bench {
 //                                 benches only; -1 = keep the bench default)
 //   --scenario=NAME               run only grid points whose fault scenario
 //                                 matches NAME (fault benches only)
+//   --trace-mask=LAYERS           comma list of sim,engine,cluster,control,
+//                                 fault (or `all`) selecting which layers the
+//                                 recorder keeps; unset = the bench's default
 // Unknown flags are ignored so benches can add their own on top.
 struct BenchOptions {
   int jobs = 0;
@@ -39,7 +42,44 @@ struct BenchOptions {
   long long trace_limit = 1 << 20;   // records retained in ring mode
   long long fault_seed = -1;         // -1 = bench default
   std::string scenario;              // empty = all scenarios
+  uint32_t trace_mask = 0;           // 0 = bench default layer mask
 };
+
+// Parses a comma-separated layer list ("cluster,fault", "all") into a
+// TraceRecorder layer mask. Returns 0 (= keep the bench default) and warns
+// on any unknown layer name.
+inline uint32_t ParseTraceMask(const char* flag, const std::string& value) {
+  uint32_t mask = 0;
+  size_t begin = 0;
+  while (begin <= value.size()) {
+    size_t end = value.find(',', begin);
+    if (end == std::string::npos) {
+      end = value.size();
+    }
+    const std::string name = value.substr(begin, end - begin);
+    if (name == "all") {
+      mask |= 0xFFFFFFFFu;  // every layer, matching the recorder's default
+    } else if (name == "sim") {
+      mask |= TraceRecorder::LayerBit(TraceLayer::kSim);
+    } else if (name == "engine") {
+      mask |= TraceRecorder::LayerBit(TraceLayer::kEngine);
+    } else if (name == "cluster") {
+      mask |= TraceRecorder::LayerBit(TraceLayer::kCluster);
+    } else if (name == "control") {
+      mask |= TraceRecorder::LayerBit(TraceLayer::kControl);
+    } else if (name == "fault") {
+      mask |= TraceRecorder::LayerBit(TraceLayer::kFault);
+    } else {
+      std::fprintf(stderr,
+                   "warning: ignoring '%s %s' (unknown layer '%s'; expected a comma "
+                   "list of sim,engine,cluster,control,fault or 'all')\n",
+                   flag, value.c_str(), name.c_str());
+      return 0;
+    }
+    begin = end + 1;
+  }
+  return mask;
+}
 
 inline BenchOptions ParseBenchOptions(int argc, char** argv) {
   BenchOptions opts;
@@ -84,9 +124,21 @@ inline BenchOptions ParseBenchOptions(int argc, char** argv) {
       opts.scenario = arg.substr(11);
     } else if (arg == "--scenario" && i + 1 < argc) {
       opts.scenario = argv[++i];
+    } else if (arg.rfind("--trace-mask=", 0) == 0) {
+      opts.trace_mask = ParseTraceMask("--trace-mask=", arg.substr(13));
+    } else if (arg == "--trace-mask" && i + 1 < argc) {
+      opts.trace_mask = ParseTraceMask("--trace-mask", argv[++i]);
     }
   }
   return opts;
+}
+
+// Applies the --trace-mask override to a bench's recorder; keeps the bench's
+// default mask when the flag was absent (or failed to parse).
+inline void ApplyTraceMask(TraceRecorder& trace, const BenchOptions& opts) {
+  if (opts.trace_mask != 0) {
+    trace.SetLayerMask(opts.trace_mask);
+  }
 }
 
 // True when the grid point named `scenario` should run under the --scenario

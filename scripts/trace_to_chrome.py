@@ -12,8 +12,11 @@ record size, counts) followed by fixed 32-byte records:
 Mapping (identical to the C++ exporter):
   * pid = zone + 1 (pid 0 collects fleet-wide records), tid = node + 1.
   * Kinds whose payload is a duration (grant-complete, node-revive) become
-    complete "X" spans ending at the record's timestamp; everything else is
-    a thread-scoped instant "i".
+    complete "X" spans ending at the record's timestamp.
+  * Request-correlation kinds 60-68 (payload = request id) become flow
+    events: first primary launch "s", retry/hedge launches "t", completion
+    "f" — Perfetto draws the request's causal arrows across nodes.
+  * Everything else is a thread-scoped instant "i".
   * Chrome timestamps are microseconds; nanosecond precision is kept in the
     fractional part.
 
@@ -42,11 +45,33 @@ KIND_NAMES = {
     50: "node_partition", 51: "node_heal", 52: "deferred_completion",
     53: "deferred_delivered", 54: "deferred_orphaned", 55: "request_retry",
     56: "request_hedge", 57: "request_shed", 58: "request_timeout",
+    60: "req_arrival", 61: "req_attempt_launch", 62: "req_complete",
+    63: "req_deferred_finish", 64: "req_attempt_orphan",
+    65: "req_attempt_timeout", 66: "req_attempt_cancel", 67: "req_fail",
+    68: "req_shed",
 }
 
 # kind -> span name for records whose payload is the activity's duration (ns);
 # the record marks the end of the activity.
 SPAN_KINDS = {11: "grant", 24: "node-down", 51: "partitioned"}
+
+# Request-correlation records (kinds 60-68, payload = request id) map to
+# Chrome flow events so Perfetto draws each request's causal arrows across
+# nodes: the first primary attempt launch starts the flow ("s"), later
+# launches (retries / hedges, arg bit 16) are steps ("t"), and the
+# completion finishes it ("f"). One event per record, same as the instants.
+KIND_REQ_ATTEMPT_LAUNCH = 61
+KIND_REQ_COMPLETE = 62
+REQ_ARG_FLAG_BIT = 1 << 16
+
+
+def flow_phase(kind, arg):
+    if kind == KIND_REQ_ATTEMPT_LAUNCH:
+        primary_first = (arg & 0xFFFF) == 0 and not (arg & REQ_ARG_FLAG_BIT)
+        return "s" if primary_first else "t"
+    if kind == KIND_REQ_COMPLETE:
+        return "f"
+    return None
 
 
 def load_trace(path):
@@ -86,7 +111,16 @@ def to_chrome(records):
             "cat": LAYER_NAMES.get(layer, f"layer{layer}"),
             "args": {"arg": arg, "payload": payload},
         }
-        if kind in SPAN_KINDS:
+        flow = flow_phase(kind, arg)
+        if flow is not None:
+            event = {
+                "ph": flow, "id": payload, "ts": time_ns / 1e3,
+                "name": "req", **common,
+            }
+            if flow == "f":
+                event["bp"] = "e"
+            events.append(event)
+        elif kind in SPAN_KINDS:
             events.append({
                 "ph": "X", "ts": (time_ns - payload) / 1e3, "dur": payload / 1e3,
                 "name": SPAN_KINDS[kind], **common,

@@ -6,6 +6,7 @@
 
 #include "src/common/check.h"
 #include "src/gpu/kernel.h"
+#include "src/obs/span.h"
 #include "src/obs/trace.h"
 
 namespace lithos {
@@ -94,6 +95,12 @@ ClusterDispatcher::ClusterDispatcher(Simulator* sim, const ClusterConfig& config
     state.model_streams.assign(models.size(), nullptr);
   }
   outstanding_ms_.assign(config_.num_nodes, 0.0);
+
+  feed_.node_attempts.assign(config_.num_nodes, 0);
+  feed_.node_completions.assign(config_.num_nodes, 0);
+  feed_.node_timeouts.assign(config_.num_nodes, 0);
+  feed_.pair_completions.assign(models.size() * static_cast<size_t>(config_.num_nodes), 0);
+  feed_.pair_latency_ns.assign(models.size() * static_cast<size_t>(config_.num_nodes), 0);
 
   // Fleet-level accounting as named registry instruments; cache the pointers
   // once so the dispatch/completion hot paths are plain increments.
@@ -196,6 +203,31 @@ void ClusterDispatcher::StartArrivals(TimeNs until) {
   }
 }
 
+void ClusterDispatcher::EmitReq(TraceKind kind, int node, int zone, int32_t arg,
+                                uint64_t req_id) {
+  if (trace_ == nullptr && span_sink_ == nullptr) {
+    return;
+  }
+  TraceRecord r;
+  r.time_ns = sim_->Now();
+  r.layer = static_cast<uint8_t>(TraceLayer::kCluster);
+  r.kind = static_cast<uint8_t>(kind);
+  r.reserved = 0;
+  r.node = node;
+  r.zone = zone;
+  r.arg = arg;
+  r.payload = static_cast<int64_t>(req_id);
+  if (trace_ != nullptr) {
+    trace_->Append(r.time_ns, TraceLayer::kCluster, kind, r.node, r.zone, r.arg,
+                   r.payload);
+  }
+  if (span_sink_ != nullptr) {
+    // The sink sees exactly the record the trace got — online span assembly
+    // and offline replay are identical by construction.
+    span_sink_->Observe(r);
+  }
+}
+
 int ClusterDispatcher::Dispatch(int model_index) {
   if (config_.resilience.enabled) {
     return DispatchResilient(model_index);
@@ -205,6 +237,8 @@ int ClusterDispatcher::Dispatch(int model_index) {
                    -1, model_index,
                    static_cast<int64_t>(fleet_.models()[model_index].cost_ms * 1000.0));
   }
+  const uint64_t rid = next_request_id_++;
+  EmitReq(TraceKind::kReqArrival, -1, -1, model_index, rid);
   const int node = placer_->Place(model_index, outstanding_ms_);
   LITHOS_CHECK_GE(node, 0);
   LITHOS_CHECK_LT(node, config_.num_nodes);
@@ -236,6 +270,7 @@ int ClusterDispatcher::Dispatch(int model_index) {
       trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kDispatchFail,
                      node, zone_topo_.ZoneOf(node), model_index, 0);
     }
+    EmitReq(TraceKind::kReqFail, node, zone_topo_.ZoneOf(node), model_index, rid);
     return node;
   }
   state.models_seen.insert(model_index);
@@ -259,13 +294,16 @@ int ClusterDispatcher::Dispatch(int model_index) {
     state.last_model = model_index;
   }
   driver->CuLaunchKernel(stream, &request_kernels_[model_index]);
+  EmitReq(TraceKind::kReqAttemptLaunch, node, zone_topo_.ZoneOf(node),
+          ReqArg(0, false), rid);
+  ++feed_.node_attempts[node];
 
   AddOutstanding(node, cost_ms);
   const TimeNs arrival = sim_->Now();
   const double request_ms = model.cost_ms;
   const uint64_t epoch = state.epoch;
   driver->CuStreamAddCallback(stream, [this, node, model_index, arrival, cost_ms, request_ms,
-                                       epoch] {
+                                       epoch, rid] {
     NodeState& state = node_state_[node];
     if (state.epoch != epoch) {
       // The node crashed after this request was dispatched: the result is
@@ -283,6 +321,9 @@ int ClusterDispatcher::Dispatch(int model_index) {
                        zone_topo_.ZoneOf(node), model_index,
                        sim_->Now() - arrival);
       }
+      EmitReq(TraceKind::kReqAttemptOrphan, node, zone_topo_.ZoneOf(node),
+              ReqArg(0, false), rid);
+      EmitReq(TraceKind::kReqFail, node, zone_topo_.ZoneOf(node), model_index, rid);
       return;
     }
     AddOutstanding(node, -cost_ms);
@@ -295,15 +336,24 @@ int ClusterDispatcher::Dispatch(int model_index) {
                        TraceKind::kDeferredCompletion, node,
                        zone_topo_.ZoneOf(node), model_index, sim_->Now() - arrival);
       }
+      EmitReq(TraceKind::kReqDeferredFinish, node, zone_topo_.ZoneOf(node),
+              ReqArg(0, false), rid);
       DeferredCompletion d;
       d.epoch = epoch;
       d.model = model_index;
       d.arrival = arrival;
       d.request_ms = request_ms;
+      d.req_id = rid;
       state.deferred.push_back(d);
       return;
     }
     ctr_completed_->Inc();
+    ++feed_.node_completions[node];
+    ++feed_.pair_completions[static_cast<size_t>(model_index) * config_.num_nodes + node];
+    feed_.pair_latency_ns[static_cast<size_t>(model_index) * config_.num_nodes + node] +=
+        sim_->Now() - arrival;
+    EmitReq(TraceKind::kReqComplete, node, zone_topo_.ZoneOf(node),
+            ReqArg(0, false), rid);
     if (arrival >= warmup_end_) {
       ++state.completed_measured;
       hist_latency_ms_->Add(ToMillis(sim_->Now() - arrival));
@@ -546,15 +596,24 @@ void ClusterDispatcher::HealNode(int node) {
                          TraceKind::kDeferredOrphaned, node,
                          zone_topo_.ZoneOf(node), d.model, 0);
         }
+        EmitReq(TraceKind::kReqAttemptOrphan, node, zone_topo_.ZoneOf(node),
+                ReqArg(0, false), d.req_id);
+        EmitReq(TraceKind::kReqFail, node, zone_topo_.ZoneOf(node), d.model,
+                d.req_id);
         continue;
       }
       ctr_completed_->Inc();
       ctr_deferred_delivered_->Inc();
+      // Counts toward the node's liveness but carries no latency sample: the
+      // delivery burst at heal time would poison the pair baseline.
+      ++feed_.node_completions[node];
       if (trace_ != nullptr) {
         trace_->Append(sim_->Now(), TraceLayer::kCluster,
                        TraceKind::kDeferredDelivered, node,
                        zone_topo_.ZoneOf(node), d.model, sim_->Now() - d.arrival);
       }
+      EmitReq(TraceKind::kReqComplete, node, zone_topo_.ZoneOf(node),
+              ReqArg(0, true), d.req_id);
       if (d.arrival >= warmup_end_) {
         ++state.completed_measured;
         hist_latency_ms_->Add(ToMillis(sim_->Now() - d.arrival));
@@ -648,6 +707,8 @@ int ClusterDispatcher::DispatchResilient(int model_index) {
   ctr_dispatched_->Inc();
   g_dispatched_request_ms_->Add(model.cost_ms);
   ++model_dispatched_[model_index];
+  const uint64_t rid = next_request_id_++;
+  EmitReq(TraceKind::kReqArrival, -1, -1, model_index, rid);
 
   // Admission control: above the outstanding-work watermark the fleet is
   // melting down — reject now (cheap, bounded latency for what is admitted)
@@ -662,6 +723,7 @@ int ClusterDispatcher::DispatchResilient(int model_index) {
                        -1, -1, model_index,
                        static_cast<int64_t>((total_outstanding_ms_ - watermark) * 1e6));
       }
+      EmitReq(TraceKind::kReqShed, -1, -1, model_index, rid);
       return -1;
     }
   }
@@ -679,6 +741,7 @@ int ClusterDispatcher::DispatchResilient(int model_index) {
   req.in_use = true;
   req.hedged = !rc.hedge;  // hedging disabled == already hedged
   req.model = model_index;
+  req.req_id = rid;
   req.arrival = sim_->Now();
   req.attempts = 0;
   req.timer_armed = false;
@@ -870,17 +933,23 @@ void ClusterDispatcher::LaunchAttempt(uint32_t slot, int node, bool is_hedge) {
   attempt.kernel_id = driver->CuLaunchKernel(stream, &request_kernels_[req.model]);
   attempt.cost_ms = model.cost_ms;
   attempt.epoch = state.epoch;
+  attempt.launch = sim_->Now();
   attempt.open = true;
   attempt.hedge = is_hedge;
   AddOutstanding(node, model.cost_ms);
 
   const int attempt_idx = static_cast<int>(req.tries.size());
   req.tries.push_back(attempt);
+  EmitReq(TraceKind::kReqAttemptLaunch, node, zone_topo_.ZoneOf(node),
+          ReqArg(attempt_idx, is_hedge), req.req_id);
+  ++feed_.node_attempts[node];
   const uint32_t gen = req.gen;
   const double cost = model.cost_ms;
   const uint64_t epoch = state.epoch;
+  const uint64_t rid = req.req_id;
   req.tries[attempt_idx].marker_id =
-      driver->CuStreamAddCallback(stream, [this, slot, gen, attempt_idx, node, cost, epoch] {
+      driver->CuStreamAddCallback(stream, [this, slot, gen, attempt_idx, node, cost, epoch,
+                                           rid] {
         NodeState& ns = node_state_[node];
         if (ns.epoch != epoch) {
           // Node crashed under the attempt; FailNode already wrote off the
@@ -896,6 +965,8 @@ void ClusterDispatcher::LaunchAttempt(uint32_t slot, int node, bool is_hedge) {
                            TraceKind::kDeferredCompletion, node,
                            zone_topo_.ZoneOf(node), -1, 0);
           }
+          EmitReq(TraceKind::kReqDeferredFinish, node, zone_topo_.ZoneOf(node),
+                  ReqArg(attempt_idx, false), rid);
           DeferredCompletion d;
           d.resilient = true;
           d.epoch = epoch;
@@ -946,6 +1017,13 @@ void ClusterDispatcher::OnAttemptTimeout(uint32_t slot, uint32_t gen) {
                    node, node >= 0 ? zone_topo_.ZoneOf(node) : -1, req.model,
                    req.attempts);
   }
+  if (!req.tries.empty()) {
+    const int last = static_cast<int>(req.tries.size()) - 1;
+    const int node = req.tries[last].node;
+    ++feed_.node_timeouts[node];
+    EmitReq(TraceKind::kReqAttemptTimeout, node, zone_topo_.ZoneOf(node),
+            ReqArg(last, false), req.req_id);
+  }
   // Claw back whatever can be clawed back; attempts that cannot be cancelled
   // (crashed or partitioned nodes) stay open and race the retry — first
   // completion still wins.
@@ -989,6 +1067,8 @@ bool ClusterDispatcher::TryCancelAttempt(uint32_t slot, int attempt) {
     });
   }
   a.open = false;
+  EmitReq(TraceKind::kReqAttemptCancel, a.node, zone_topo_.ZoneOf(a.node),
+          ReqArg(attempt, a.hedge), req.req_id);
   return true;
 }
 
@@ -1060,6 +1140,8 @@ void ClusterDispatcher::OnAttemptOrphaned(uint32_t slot, uint32_t gen, int attem
                    a.node, zone_topo_.ZoneOf(a.node), req.model,
                    sim_->Now() - req.arrival);
   }
+  EmitReq(TraceKind::kReqAttemptOrphan, a.node, zone_topo_.ZoneOf(a.node),
+          ReqArg(attempt, a.hedge), req.req_id);
   for (const AttemptState& other : req.tries) {
     if (other.open) {
       return;  // another attempt is still racing; the timeout covers it
@@ -1081,6 +1163,14 @@ void ClusterDispatcher::OnAttemptComplete(uint32_t slot, uint32_t gen, int attem
   a.open = false;
   DisarmTimers(slot);
   ctr_completed_->Inc();
+  ++feed_.node_completions[a.node];
+  if (!deferred) {
+    // Deferred deliveries carry no latency sample: the heal-time burst would
+    // poison the pair baseline and mask the partition's silence.
+    const size_t pair = static_cast<size_t>(req.model) * config_.num_nodes + a.node;
+    ++feed_.pair_completions[pair];
+    feed_.pair_latency_ns[pair] += sim_->Now() - a.launch;
+  }
   quarantine_until_[static_cast<size_t>(req.model) * config_.num_nodes + a.node] = 0;
   if (a.hedge) {
     ctr_hedge_wins_->Inc();
@@ -1093,6 +1183,8 @@ void ClusterDispatcher::OnAttemptComplete(uint32_t slot, uint32_t gen, int attem
                      sim_->Now() - req.arrival);
     }
   }
+  EmitReq(TraceKind::kReqComplete, a.node, zone_topo_.ZoneOf(a.node),
+          ReqArg(attempt, deferred), req.req_id);
   if (req.arrival >= warmup_end_) {
     ++node_state_[a.node].completed_measured;
     hist_latency_ms_->Add(ToMillis(sim_->Now() - req.arrival));
@@ -1121,6 +1213,8 @@ void ClusterDispatcher::FailRequest(uint32_t slot) {
     trace_->Append(sim_->Now(), TraceLayer::kCluster, TraceKind::kDispatchFail,
                    node, node >= 0 ? zone_topo_.ZoneOf(node) : -1, req.model, 0);
   }
+  EmitReq(TraceKind::kReqFail, node, node >= 0 ? zone_topo_.ZoneOf(node) : -1,
+          req.model, req.req_id);
   FreeRequestSlot(slot);
 }
 

@@ -36,11 +36,15 @@
 #include "src/experiments/harness.h"
 #include "src/gpu/execution_engine.h"
 #include "src/gpu/gpu_spec.h"
+#include "src/obs/detect.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 #include "src/workloads/fleet.h"
 
 namespace lithos {
+
+class SpanBuilder;
 
 // --- GpuNode -----------------------------------------------------------------
 
@@ -404,6 +408,18 @@ class ClusterDispatcher {
   // records. See docs/observability.md.
   void SetTrace(TraceRecorder* trace);
 
+  // Attaches a span sink (nullptr detaches): every request-correlation
+  // record (TraceKind 60+) the dispatcher emits is also fed to the sink at
+  // the same instant, so online span assembly sees exactly the records an
+  // offline trace replay would — identical by construction. Works with or
+  // without a trace recorder attached.
+  void SetSpanSink(SpanBuilder* sink) { span_sink_ = sink; }
+
+  // Cumulative per-node / per-(model, node) dispatch telemetry, maintained
+  // unconditionally on both dispatch paths. The gray-failure detector diffs
+  // these window over window (docs/attribution.md).
+  const DetectorFeed& detector_feed() const { return feed_; }
+
  private:
   // A completion that finished while its node was partitioned, buffered for
   // delivery at heal time. Legacy requests carry their sample data inline;
@@ -421,6 +437,8 @@ class ClusterDispatcher {
     uint32_t slot = 0;
     uint32_t gen = 0;
     int attempt = -1;
+    // Request-correlation id for span records at delivery time.
+    uint64_t req_id = 0;
   };
 
   struct NodeState {
@@ -461,6 +479,7 @@ class ClusterDispatcher {
     uint64_t marker_id = 0;   // completion-marker launch id
     double cost_ms = 0;       // request-kernel GPU-ms (no switch cost)
     uint64_t epoch = 0;       // node epoch at launch
+    TimeNs launch = 0;        // launch instant (detector latency samples)
     bool open = false;
     bool hedge = false;       // the hedged duplicate (for hedge-win stats)
   };
@@ -472,6 +491,7 @@ class ClusterDispatcher {
     bool in_use = false;
     bool hedged = false;      // hedge attempt launched (or skipped)
     int model = -1;
+    uint64_t req_id = 0;      // request-correlation id (span records)
     TimeNs arrival = 0;
     int attempts = 0;         // sequential attempts launched (excl. hedge)
     EventId timer_event = 0;  // backoff or timeout timer (one at a time)
@@ -491,6 +511,9 @@ class ClusterDispatcher {
   // the per-zone and fleet-total aggregates in sync.
   void AddOutstanding(int node, double delta_ms);
   void AppendRecoveryLog(const char* action, int model_index, int from, int to);
+  // Emits one request-correlation record (trace + span sink). `req_id` rides
+  // in the payload; `arg` is kind-specific (see TraceKind 60+).
+  void EmitReq(TraceKind kind, int node, int zone, int32_t arg, uint64_t req_id);
 
   // --- Resilient dispatch path (config_.resilience.enabled) -----------------
   // Lifecycle: DispatchResilient admits (or sheds) the request, allocates a
@@ -574,6 +597,9 @@ class ClusterDispatcher {
   std::vector<std::string> recovery_log_;
   TimeNs warmup_end_ = 0;
   TraceRecorder* trace_ = nullptr;
+  SpanBuilder* span_sink_ = nullptr;
+  uint64_t next_request_id_ = 0;  // arrival-order request-correlation ids
+  DetectorFeed feed_;
 
   // Resilient-request slab (empty unless config_.resilience.enabled).
   std::vector<RequestState> requests_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <map>
 
 #include "src/common/check.h"
 #include "src/common/rng.h"
@@ -197,6 +198,71 @@ std::vector<std::string> FaultInjector::ScheduleLines() const {
     lines.push_back(FormatEvent(event));
   }
   return lines;
+}
+
+std::vector<GroundTruthSpan> FaultInjector::GroundTruthSpans(TimeNs horizon) const {
+  std::vector<GroundTruthSpan> out;
+  // Open-interval bookkeeping: FIFO per (kind-category, target), matching
+  // how overlapping causes repair in Apply() (first start, first end).
+  std::map<int, std::vector<size_t>> open_crash, open_straggle, open_outage,
+      open_cap, open_partition, open_rack;
+
+  auto start = [&](std::map<int, std::vector<size_t>>& open, int key,
+                   const FaultEvent& e) {
+    GroundTruthSpan span;
+    span.kind = e.kind;
+    span.zone = e.zone;
+    span.node = e.node;
+    span.rack = e.rack;
+    span.start = e.at;
+    span.end = horizon;  // provisional: still open at the horizon
+    span.factor = e.factor;
+    open[key].push_back(out.size());
+    out.push_back(span);
+  };
+  auto end = [&](std::map<int, std::vector<size_t>>& open, int key,
+                 const FaultEvent& e) {
+    auto it = open.find(key);
+    if (it == open.end() || it->second.empty()) {
+      return;  // unmatched end (scripted end without a start): ignore
+    }
+    out[it->second.front()].end = e.at;
+    it->second.erase(it->second.begin());
+  };
+
+  for (const FaultEvent& e : schedule_) {
+    switch (e.kind) {
+      case FaultKind::kNodeCrash: start(open_crash, e.node, e); break;
+      case FaultKind::kNodeRepair: end(open_crash, e.node, e); break;
+      case FaultKind::kStragglerStart: start(open_straggle, e.node, e); break;
+      case FaultKind::kStragglerEnd: end(open_straggle, e.node, e); break;
+      case FaultKind::kZoneOutage: start(open_outage, e.zone, e); break;
+      case FaultKind::kZoneRepair: end(open_outage, e.zone, e); break;
+      case FaultKind::kPowerCapStart: start(open_cap, e.zone, e); break;
+      case FaultKind::kPowerCapEnd: end(open_cap, e.zone, e); break;
+      case FaultKind::kPartitionStart: start(open_partition, e.zone, e); break;
+      case FaultKind::kPartitionHeal: end(open_partition, e.zone, e); break;
+      case FaultKind::kRackCrash:
+        start(open_rack, e.zone * 4096 + e.rack, e);
+        break;
+      case FaultKind::kRackRepair:
+        end(open_rack, e.zone * 4096 + e.rack, e);
+        break;
+    }
+  }
+
+  // Drop spans the run never sees; clamp tails to the horizon. Order stays
+  // start order (the schedule is time-sorted).
+  std::vector<GroundTruthSpan> visible;
+  visible.reserve(out.size());
+  for (GroundTruthSpan& span : out) {
+    if (span.start >= horizon) {
+      continue;
+    }
+    span.end = std::min(span.end, horizon);
+    visible.push_back(span);
+  }
+  return visible;
 }
 
 void FaultInjector::Arm() {

@@ -169,6 +169,20 @@ struct FaultEvent {
   double factor = 1.0;  // clock fraction for straggler / power-cap starts
 };
 
+// One injected fault interval, paired up from the schedule's start/end
+// events — the ground truth a gray-failure detector is scored against. The
+// `kind` is the interval's *start* kind (kStragglerStart, kPartitionStart,
+// kNodeCrash, ...).
+struct GroundTruthSpan {
+  FaultKind kind = FaultKind::kStragglerStart;
+  int zone = -1;
+  int node = -1;
+  int rack = -1;
+  TimeNs start = 0;
+  TimeNs end = 0;       // clamped to `horizon` for still-open intervals
+  double factor = 1.0;  // slowdown / cap fraction where applicable
+};
+
 class FaultInjector {
  public:
   // Generates the full schedule deterministically; nothing is armed yet.
@@ -182,6 +196,13 @@ class FaultInjector {
   // Printable schedule, one deterministic line per event (replay tests
   // compare this byte-for-byte).
   std::vector<std::string> ScheduleLines() const;
+
+  // Pairs the schedule's start/end events into fault intervals — the ground
+  // truth for detector scoring. Spans starting at or after `horizon` are
+  // dropped; ends are clamped to it (an interval still open at the horizon
+  // ends there). Pure function of the pre-generated schedule: identical
+  // across runs and --jobs like ScheduleLines().
+  std::vector<GroundTruthSpan> GroundTruthSpans(TimeNs horizon) const;
 
   // Schedules every event on the simulator clock. Call once, before Run.
   void Arm();

@@ -1,9 +1,41 @@
 #include "src/fault/scenario.h"
 
+#include <memory>
+
 #include "src/common/check.h"
 #include "src/gpu/execution_engine.h"
 
 namespace lithos {
+
+namespace {
+
+// Recurring detector tick on the simulator clock: sample the dispatcher's
+// cumulative feed every detector window, with announced crash state as the
+// known-down input. Lives on the scenario stack for the whole run.
+struct DetectorTicker {
+  Simulator* sim = nullptr;
+  FleetDispatcher* fleet = nullptr;
+  GrayNodeDetector* detector = nullptr;
+  TimeNs horizon = 0;
+  DurationNs window = 0;
+
+  void Schedule(TimeNs at) {
+    if (at > horizon) {
+      return;
+    }
+    sim->ScheduleAt(at, [this, at] {
+      const int num_nodes = fleet->config().num_nodes;
+      std::vector<uint8_t> known_down(static_cast<size_t>(num_nodes), 0);
+      for (int n = 0; n < num_nodes; ++n) {
+        known_down[static_cast<size_t>(n)] = fleet->NodeFailed(n) ? 1 : 0;
+      }
+      detector->Tick(at, fleet->detector_feed(), known_down);
+      Schedule(at + window);
+    });
+  }
+};
+
+}  // namespace
 
 FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
   LITHOS_CHECK(!config.phases.empty());
@@ -19,6 +51,7 @@ FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
   FleetDispatcher fleet(&sim, config.cluster);
   sim.SetTrace(config.trace);
   fleet.SetTrace(config.trace);
+  fleet.SetSpanSink(config.spans);
 
   AutoscaleConfig control;
   control.cluster = config.cluster;
@@ -42,6 +75,28 @@ FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
   result.num_nodes = config.cluster.num_nodes;
   result.num_zones = config.cluster.num_zones;
   result.phases.resize(config.phases.size());
+
+  // Online gray-failure detection: first tick one window in, last at or
+  // before the horizon. The detector only sees the dispatcher's telemetry
+  // feed plus announced crash state — never the injector.
+  std::unique_ptr<GrayNodeDetector> detector;
+  DetectorTicker ticker;
+  if (config.detect) {
+    std::vector<int> node_zone(static_cast<size_t>(config.cluster.num_nodes));
+    for (int n = 0; n < config.cluster.num_nodes; ++n) {
+      node_zone[static_cast<size_t>(n)] = fleet.ZoneOfNode(n);
+    }
+    detector = std::make_unique<GrayNodeDetector>(
+        config.detector, config.cluster.num_nodes,
+        static_cast<int>(fleet.models().size()), config.cluster.num_zones,
+        std::move(node_zone), &fleet.metrics());
+    ticker.sim = &sim;
+    ticker.fleet = &fleet;
+    ticker.detector = detector.get();
+    ticker.horizon = horizon;
+    ticker.window = config.detector.window;
+    ticker.Schedule(config.detector.window);
+  }
 
   // Phase boundaries: close the window (Collect) before the next one opens.
   // Loop order matters — at a shared boundary instant the close callback is
@@ -104,6 +159,12 @@ FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
   result.events_fired = sim.events_fired();
   result.sim = sim.counters();
   result.metric_phases = fleet.metrics().phases();
+  if (detector) {
+    result.verdicts = detector->verdicts();
+    result.detector_lines = detector->Lines();
+    result.detector_ticks = detector->ticks();
+    result.ground_truth = injector.GroundTruthSpans(horizon);
+  }
   return result;
 }
 

@@ -46,11 +46,27 @@ struct FleetFaultConfig {
   FaultScenarioConfig faults;
   std::vector<FaultPhase> phases;
 
+  // Online gray-failure detection: when enabled, a GrayNodeDetector ticks
+  // every `detector.window` of sim-time over the dispatcher's telemetry
+  // feed, with announced crash state (NodeFailed) as its known-down input —
+  // partitions and stragglers must be *inferred*. Verdicts, the injector's
+  // ground-truth spans, and the per-zone completion rollups all land in the
+  // result for scoring (docs/attribution.md).
+  bool detect = false;
+  DetectorConfig detector;
+
   // Optional binary trace sink. When set, the simulator core, every node
   // engine, the dispatcher, the controller, and the injector all append to
   // it; records derive only from sim state, so the bytes are identical
   // across runs and `--jobs` values for the same config.
   TraceRecorder* trace = nullptr;
+
+  // Optional online span sink: the dispatcher feeds every request-
+  // correlation record (TraceKind 60..68) to it as it is emitted, so span
+  // trees assemble without a trace buffer. Same records as the binary
+  // trace — offline replay through trace_analyze reconstructs identical
+  // spans. Must outlive the run; one owner per recorder, like `trace`.
+  SpanBuilder* spans = nullptr;
 };
 
 // Per-phase fleet metrics (the dispatcher's Collect over that window).
@@ -98,6 +114,13 @@ struct FleetFaultResult {
   // Registry snapshots, one per phase in order: every fleet/* counter as
   // its window delta, gauges at window end (see MetricsRegistry phases).
   std::vector<MetricsRegistry::PhaseSnapshot> metric_phases;
+  // Gray-failure detection output (empty unless config.detect): the
+  // detector's episode verdicts, their deterministic text rendering, and the
+  // injector's ground-truth fault intervals clamped to the horizon.
+  std::vector<Verdict> verdicts;
+  std::vector<std::string> detector_lines;
+  std::vector<GroundTruthSpan> ground_truth;
+  int detector_ticks = 0;
 };
 
 // Builds simulator + FleetDispatcher + FleetController + FaultInjector,

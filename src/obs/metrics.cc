@@ -34,6 +34,9 @@ MetricsRegistry::Entry& MetricsRegistry::FindOrCreate(const std::string& name,
     case Type::kHistogram:
       e.histogram = std::make_unique<Histogram>();
       break;
+    case Type::kTimeSeries:
+      // Constructed by timeseries(): the width lives in the instrument.
+      break;
   }
   index_.emplace(name, pos);
   return e;
@@ -49,6 +52,16 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *FindOrCreate(name, Type::kHistogram).histogram;
+}
+
+TimeSeries& MetricsRegistry::timeseries(const std::string& name,
+                                        int64_t width_ns) {
+  Entry& e = FindOrCreate(name, Type::kTimeSeries);
+  if (e.timeseries == nullptr) {
+    e.timeseries = std::make_unique<TimeSeries>(width_ns);
+  }
+  LITHOS_CHECK(e.timeseries->width_ns() == width_ns);
+  return *e.timeseries;
 }
 
 void MetricsRegistry::BeginPhase(const std::string& name) {
@@ -105,6 +118,14 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::Rows() {
         rows.emplace_back(e.name + "/mean", h.Mean());
         rows.emplace_back(e.name + "/p50", h.Percentile(50));
         rows.emplace_back(e.name + "/p99", h.Percentile(99));
+        break;
+      }
+      case Type::kTimeSeries: {
+        const TimeSeries& ts = *e.timeseries;
+        rows.emplace_back(e.name + "/windows",
+                          static_cast<double>(ts.windows().size()));
+        rows.emplace_back(e.name + "/count",
+                          static_cast<double>(ts.total_count()));
         break;
       }
     }

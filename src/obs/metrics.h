@@ -17,8 +17,9 @@
 // Phases: BeginPhase()/EndPhase() bracket a measurement window (e.g. the
 // pre/during/post windows of a fault scenario). EndPhase() snapshots every
 // counter as its delta over the window and every gauge at its current value,
-// appending a copyable PhaseSnapshot to phases(). Histograms are excluded
-// from phase snapshots (their samples are not windowed); read them directly.
+// appending a copyable PhaseSnapshot to phases(). Histograms and time series
+// are excluded from phase snapshots (histogram samples are not windowed;
+// time series are already windowed by sim-time); read them directly.
 #ifndef LITHOS_OBS_METRICS_H_
 #define LITHOS_OBS_METRICS_H_
 
@@ -74,6 +75,78 @@ class Histogram {
   PercentileDigest digest_;
 };
 
+// Exponentially weighted moving average over discrete observations. Used as
+// the per-(model,node) and per-zone baseline in the gray-failure detector:
+// cheap, O(1) state, and deterministic (no wall clock, pure arithmetic).
+// warm() gates consumers until enough samples have landed for the average to
+// mean something.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+
+  void Observe(double x) {
+    value_ = samples_ == 0 ? x : alpha_ * x + (1.0 - alpha_) * value_;
+    ++samples_;
+  }
+  void Reset() {
+    value_ = 0;
+    samples_ = 0;
+  }
+  double value() const { return value_; }
+  uint64_t samples() const { return samples_; }
+  bool warm(uint64_t min_samples) const { return samples_ >= min_samples; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  uint64_t samples_ = 0;
+};
+
+// Windowed time-series rollup: observations land in fixed-width sim-time
+// windows (window index = t / width), each keeping count/sum/min/max. Windows
+// are created on first observation, so sparse series stay sparse. Like
+// histograms, time series are excluded from phase snapshots — their samples
+// are already windowed by sim-time; read windows() directly.
+class TimeSeries {
+ public:
+  struct Window {
+    int64_t index = 0;  // window start = index * width
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+  };
+
+  explicit TimeSeries(int64_t width_ns) : width_ns_(width_ns) {
+    LITHOS_CHECK(width_ns > 0);
+  }
+
+  void Observe(int64_t time_ns, double value) {
+    const int64_t index = time_ns / width_ns_;
+    if (windows_.empty() || windows_.back().index != index) {
+      LITHOS_CHECK(windows_.empty() || index > windows_.back().index);
+      windows_.push_back(Window{index, 0, 0, value, value});
+    }
+    Window& w = windows_.back();
+    ++w.count;
+    w.sum += value;
+    if (value < w.min) w.min = value;
+    if (value > w.max) w.max = value;
+  }
+
+  int64_t width_ns() const { return width_ns_; }
+  const std::vector<Window>& windows() const { return windows_; }
+  uint64_t total_count() const {
+    uint64_t n = 0;
+    for (const Window& w : windows_) n += w.count;
+    return n;
+  }
+
+ private:
+  int64_t width_ns_;
+  std::vector<Window> windows_;  // ascending window index
+};
+
 class MetricsRegistry {
  public:
   struct PhaseSnapshot {
@@ -95,6 +168,9 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+  // Windowed rollup with fixed sim-time windows. The width is fixed at
+  // registration; re-requesting with a different width is a checked error.
+  TimeSeries& timeseries(const std::string& name, int64_t width_ns);
 
   // Opens a measurement window. A still-open window is closed first.
   void BeginPhase(const std::string& name);
@@ -111,7 +187,7 @@ class MetricsRegistry {
   size_t num_instruments() const { return entries_.size(); }
 
  private:
-  enum class Type { kCounter, kGauge, kHistogram };
+  enum class Type { kCounter, kGauge, kHistogram, kTimeSeries };
 
   struct Entry {
     std::string name;
@@ -121,6 +197,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<TimeSeries> timeseries;
   };
 
   Entry& FindOrCreate(const std::string& name, Type type);

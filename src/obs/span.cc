@@ -1,0 +1,191 @@
+#include "src/obs/span.h"
+
+namespace lithos {
+
+const char* AttemptOutcomeName(AttemptOutcome outcome) {
+  switch (outcome) {
+    case AttemptOutcome::kOpen: return "open";
+    case AttemptOutcome::kCompleted: return "completed";
+    case AttemptOutcome::kTimedOut: return "timed_out";
+    case AttemptOutcome::kCancelled: return "cancelled";
+    case AttemptOutcome::kOrphaned: return "orphaned";
+  }
+  return "unknown";
+}
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOpen: return "open";
+    case RequestOutcome::kCompleted: return "completed";
+    case RequestOutcome::kFailed: return "failed";
+    case RequestOutcome::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+RequestSpan& SpanBuilder::SpanFor(uint64_t id) {
+  auto [it, inserted] = spans_.try_emplace(id);
+  if (inserted) {
+    it->second.id = id;
+    // Created by a non-arrival record: the arrival was dropped from the
+    // input, so the span starts out partial until/unless one shows up.
+    it->second.partial = true;
+  }
+  return it->second;
+}
+
+AttemptSpan& SpanBuilder::AttemptFor(RequestSpan& span, int index) {
+  if (index < 0) {
+    index = 0;
+  }
+  while (static_cast<int>(span.attempts.size()) <= index) {
+    // Placeholder for an attempt whose launch record is missing. If the
+    // very next record fills this exact slot it stops being a placeholder;
+    // slots below it stay partial markers (launch == -1).
+    AttemptSpan& a = span.attempts.emplace_back();
+    a.index = static_cast<int>(span.attempts.size()) - 1;
+  }
+  return span.attempts[static_cast<size_t>(index)];
+}
+
+void SpanBuilder::Observe(const TraceRecord& record) {
+  if (record.layer != static_cast<uint8_t>(TraceLayer::kCluster) ||
+      record.kind < static_cast<uint8_t>(TraceKind::kReqArrival) ||
+      record.kind > static_cast<uint8_t>(TraceKind::kReqShed)) {
+    return;
+  }
+  ++observed_;
+  const auto kind = static_cast<TraceKind>(record.kind);
+  const uint64_t id = static_cast<uint64_t>(record.payload);
+  RequestSpan& span = SpanFor(id);
+
+  switch (kind) {
+    case TraceKind::kReqArrival: {
+      span.model = record.arg;
+      if (span.arrival < 0) {
+        span.arrival = record.time_ns;
+        // An arrival observed out of order (after other records for the same
+        // id) still leaves the span partial — set below only on clean create.
+      }
+      if (span.attempts.empty() && span.outcome == RequestOutcome::kOpen &&
+          span.settle < 0) {
+        span.partial = false;
+      }
+      break;
+    }
+    case TraceKind::kReqAttemptLaunch: {
+      const int idx = ReqArgAttempt(record.arg);
+      AttemptSpan& a = AttemptFor(span, idx);
+      if (a.launch >= 0) {
+        // Duplicate launch for the same slot: keep the first, flag the span.
+        span.partial = true;
+        break;
+      }
+      a.launch = record.time_ns;
+      a.hedge = ReqArgFlag(record.arg);
+      a.node = record.node;
+      a.zone = record.zone;
+      break;
+    }
+    case TraceKind::kReqDeferredFinish: {
+      AttemptSpan& a = AttemptFor(span, ReqArgAttempt(record.arg));
+      a.deferred = true;
+      if (a.finish < 0) {
+        a.finish = record.time_ns;
+      }
+      if (a.node < 0) {
+        a.node = record.node;
+        a.zone = record.zone;
+      }
+      break;
+    }
+    case TraceKind::kReqComplete: {
+      const int idx = ReqArgAttempt(record.arg);
+      AttemptSpan& a = AttemptFor(span, idx);
+      if (!Terminal(a.outcome)) {
+        a.outcome = AttemptOutcome::kCompleted;
+        a.deferred = a.deferred || ReqArgFlag(record.arg);
+        a.delivered = record.time_ns;
+        if (a.finish < 0) {
+          a.finish = record.time_ns;
+        }
+        if (a.node < 0) {
+          a.node = record.node;
+          a.zone = record.zone;
+        }
+      }
+      if (span.outcome == RequestOutcome::kOpen) {
+        span.outcome = RequestOutcome::kCompleted;
+        span.settle = record.time_ns;
+        span.winner = idx;
+      } else {
+        // A second settle record (duplicate delivery, or a completion after
+        // the request was already marked failed by a crash epoch bump).
+        span.partial = true;
+      }
+      break;
+    }
+    case TraceKind::kReqAttemptOrphan:
+    case TraceKind::kReqAttemptTimeout:
+    case TraceKind::kReqAttemptCancel: {
+      AttemptSpan& a = AttemptFor(span, ReqArgAttempt(record.arg));
+      if (!Terminal(a.outcome)) {
+        a.outcome = kind == TraceKind::kReqAttemptOrphan
+                        ? AttemptOutcome::kOrphaned
+                        : kind == TraceKind::kReqAttemptTimeout
+                              ? AttemptOutcome::kTimedOut
+                              : AttemptOutcome::kCancelled;
+        a.hedge = a.hedge || ReqArgFlag(record.arg);
+        a.finish = record.time_ns;
+        if (a.node < 0) {
+          a.node = record.node;
+          a.zone = record.zone;
+        }
+      }
+      break;
+    }
+    case TraceKind::kReqFail:
+    case TraceKind::kReqShed: {
+      if (span.model < 0) {
+        span.model = record.arg;
+      }
+      if (span.outcome == RequestOutcome::kOpen) {
+        span.outcome = kind == TraceKind::kReqShed ? RequestOutcome::kShed
+                                                   : RequestOutcome::kFailed;
+        span.settle = record.time_ns;
+      } else {
+        span.partial = true;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+uint64_t SpanBuilder::ObserveAll(const std::vector<TraceRecord>& records) {
+  const uint64_t before = observed_;
+  for (const TraceRecord& r : records) {
+    Observe(r);
+  }
+  return observed_ - before;
+}
+
+std::vector<RequestSpan> SpanBuilder::Spans() const {
+  std::vector<RequestSpan> out;
+  out.reserve(spans_.size());
+  for (const auto& [id, span] : spans_) {
+    out.push_back(span);
+    // Any attempt whose launch record never arrived marks the span partial;
+    // done here so late-filled placeholders are judged by final state.
+    for (const AttemptSpan& a : span.attempts) {
+      if (a.launch < 0) {
+        out.back().partial = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lithos

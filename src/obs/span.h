@@ -1,0 +1,114 @@
+// Request-scoped causal spans assembled from request-correlation trace
+// records (TraceKind 60+, TraceLayer::kCluster).
+//
+// A SpanBuilder consumes TraceRecords — online, fed by the dispatcher's
+// span sink at the same instants it appends trace records, or offline by
+// replaying a binary trace file — and stitches them into per-request span
+// trees: arrival -> attempt(s) (retry / hedge / orphan-redispatch) ->
+// completion / failure / shed. Every request-correlation record carries the
+// request id in its payload, so assembly needs nothing but the records
+// themselves.
+//
+// Malformed input is a first-class case, not an error: traces truncated by
+// ring wraparound or layer masks produce *well-defined partial spans* — an
+// attempt without an arrival, a completion for a request whose launch was
+// dropped, a hedge loser cancelled mid-flight all land in a span flagged
+// `partial` with the missing instants left at -1. Downstream consumers
+// (LatencyAttributor) skip partial spans; nothing crashes or miscounts.
+//
+// Determinism: spans are keyed and ordered by request id (ids are assigned
+// in arrival order by the dispatcher), and every field derives from record
+// contents — same records, same spans, byte-identical derived output.
+#ifndef LITHOS_OBS_SPAN_H_
+#define LITHOS_OBS_SPAN_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/obs/trace.h"
+
+namespace lithos {
+
+// How one dispatch attempt ended. Precedence when records conflict (e.g. a
+// cancel for an attempt that already completed): terminal states are never
+// downgraded — the first terminal outcome wins.
+enum class AttemptOutcome : uint8_t {
+  kOpen = 0,       // no terminal record (still racing, or trace truncated)
+  kCompleted = 1,  // delivered the winning completion
+  kTimedOut = 2,   // abandoned by the per-attempt timer
+  kCancelled = 3,  // clawed back (hedge loser / post-timeout cancel)
+  kOrphaned = 4,   // lost to a crash epoch bump
+};
+
+enum class RequestOutcome : uint8_t {
+  kOpen = 0,       // no settle record (in flight at trace end, or truncated)
+  kCompleted = 1,
+  kFailed = 2,     // exhausted retries / crashed away
+  kShed = 3,       // rejected by admission control at arrival
+};
+
+const char* AttemptOutcomeName(AttemptOutcome outcome);
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+// One dispatch attempt inside a request span. Times are -1 when the
+// corresponding record is missing from the input.
+struct AttemptSpan {
+  int index = -1;        // attempt slot (0 = first dispatch)
+  bool hedge = false;    // the hedged duplicate
+  bool deferred = false; // compute finished behind a partition
+  int node = -1;
+  int zone = -1;
+  TimeNs launch = -1;    // kReqAttemptLaunch instant
+  TimeNs finish = -1;    // compute finish / terminal instant
+  TimeNs delivered = -1; // delivery instant (> finish only when deferred)
+  AttemptOutcome outcome = AttemptOutcome::kOpen;
+};
+
+struct RequestSpan {
+  uint64_t id = 0;
+  int model = -1;
+  TimeNs arrival = -1;   // -1: arrival record missing (partial span)
+  TimeNs settle = -1;    // completion / failure / shed instant
+  RequestOutcome outcome = RequestOutcome::kOpen;
+  int winner = -1;       // index into `attempts` of the winning attempt
+  bool partial = false;  // assembled from an incomplete or malformed record set
+  std::vector<AttemptSpan> attempts;
+};
+
+class SpanBuilder {
+ public:
+  SpanBuilder() = default;
+  SpanBuilder(const SpanBuilder&) = delete;
+  SpanBuilder& operator=(const SpanBuilder&) = delete;
+
+  // Feeds one record. Non-request kinds (and non-cluster layers) are
+  // ignored, so a full multi-layer trace can be replayed unfiltered.
+  void Observe(const TraceRecord& record);
+
+  // Replays a record array (offline assembly). Returns how many records
+  // contributed to spans.
+  uint64_t ObserveAll(const std::vector<TraceRecord>& records);
+
+  // Assembled spans in request-id order (== arrival order). Requests still
+  // open at the end of input stay RequestOutcome::kOpen.
+  std::vector<RequestSpan> Spans() const;
+
+  uint64_t observed() const { return observed_; }
+  size_t num_requests() const { return spans_.size(); }
+
+ private:
+  RequestSpan& SpanFor(uint64_t id);
+  // Returns the attempt slot, growing the vector with partial placeholders
+  // for indices never seen (their launches were dropped from the input).
+  AttemptSpan& AttemptFor(RequestSpan& span, int index);
+  static bool Terminal(AttemptOutcome o) { return o != AttemptOutcome::kOpen; }
+
+  std::map<uint64_t, RequestSpan> spans_;  // request id -> span
+  uint64_t observed_ = 0;
+};
+
+}  // namespace lithos
+
+#endif  // LITHOS_OBS_SPAN_H_

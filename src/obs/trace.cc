@@ -52,6 +52,15 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kRequestHedge: return "request_hedge";
     case TraceKind::kRequestShed: return "request_shed";
     case TraceKind::kRequestTimeout: return "request_timeout";
+    case TraceKind::kReqArrival: return "req_arrival";
+    case TraceKind::kReqAttemptLaunch: return "req_attempt_launch";
+    case TraceKind::kReqComplete: return "req_complete";
+    case TraceKind::kReqDeferredFinish: return "req_deferred_finish";
+    case TraceKind::kReqAttemptOrphan: return "req_attempt_orphan";
+    case TraceKind::kReqAttemptTimeout: return "req_attempt_timeout";
+    case TraceKind::kReqAttemptCancel: return "req_attempt_cancel";
+    case TraceKind::kReqFail: return "req_fail";
+    case TraceKind::kReqShed: return "req_shed";
   }
   return "unknown";
 }

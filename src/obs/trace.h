@@ -92,7 +92,31 @@ enum class TraceKind : uint8_t {
   kRequestHedge = 56,       // node = hedge target
   kRequestShed = 57,        // payload = outstanding watermark excess (ns)
   kRequestTimeout = 58,     // node = timed-out target, payload = attempt number
+
+  // TraceLayer::kCluster, request-correlation decade — payload = request id
+  // for every kind, so SpanBuilder can stitch per-request span trees from a
+  // trace alone. `arg` carries the attempt index in its low 16 bits; bit 16
+  // flags a hedge attempt (launch) or a deferred delivery (complete).
+  kReqArrival = 60,        // arg = model index
+  kReqAttemptLaunch = 61,  // node/zone = target; arg bit 16 = hedge
+  kReqComplete = 62,       // arg = winning attempt; arg bit 16 = deferred
+  kReqDeferredFinish = 63, // compute finished behind a partition
+  kReqAttemptOrphan = 64,  // attempt lost to a crash epoch bump
+  kReqAttemptTimeout = 65, // attempt abandoned by the per-attempt timer
+  kReqAttemptCancel = 66,  // hedge loser cancelled after the winner landed
+  kReqFail = 67,           // arg = model index; request exhausted retries
+  kReqShed = 68,           // arg = model index; admission shed
 };
+
+// Helpers for the request-correlation `arg` encoding above.
+inline constexpr int32_t kReqArgFlagBit = 1 << 16;
+inline constexpr int32_t ReqArg(int attempt, bool flag) {
+  return static_cast<int32_t>(attempt) | (flag ? kReqArgFlagBit : 0);
+}
+inline constexpr int ReqArgAttempt(int32_t arg) { return arg & 0xFFFF; }
+inline constexpr bool ReqArgFlag(int32_t arg) {
+  return (arg & kReqArgFlagBit) != 0;
+}
 
 const char* TraceLayerName(TraceLayer layer);
 const char* TraceKindName(TraceKind kind);

@@ -7,7 +7,9 @@
 // The Chrome export mirrors scripts/trace_to_chrome.py (the zero-dependency
 // Python twin CI smoke-tests): pid = zone + 1 (0 = fleet-wide), tid =
 // node + 1, complete ("X") spans reconstructed from kGrantComplete /
-// kNodeRevive duration payloads, instants ("i") for everything else, and
+// kNodeRevive duration payloads, flow events ("s"/"t"/"f", id = request id)
+// for the request-correlation records so Perfetto draws causal arrows,
+// instants ("i") for everything else, and
 // timestamps in microseconds (Chrome's unit) at nanosecond precision.
 // Output depends only on the trace bytes, so it is as deterministic as the
 // trace itself.
@@ -130,8 +132,34 @@ int ExportChrome(const LoadedTrace& trace, std::FILE* out) {
     const char* layer = TraceLayerName(static_cast<TraceLayer>(r.layer));
     int64_t duration_ns = 0;
     const char* span_name = nullptr;
+    // Request-correlation records become Chrome flow events so Perfetto can
+    // draw each request's causal arrows across nodes and zones: the first
+    // primary launch starts the flow ("s"), every later launch (retry or
+    // hedge) is a step ("t"), and the completion finishes it ("f"). The flow
+    // id is the request id (payload), which the recorder scopes to the run.
+    // Still one JSON event per record, so record/event count parity with the
+    // text dump and scripts/trace_to_chrome.py holds.
+    const char* flow_ph = nullptr;
+    switch (static_cast<TraceKind>(r.kind)) {
+      case TraceKind::kReqAttemptLaunch:
+        flow_ph = ReqArgAttempt(r.arg) == 0 && !ReqArgFlag(r.arg) ? "s" : "t";
+        break;
+      case TraceKind::kReqComplete:
+        flow_ph = "f";
+        break;
+      default:
+        break;
+    }
     sep();
-    if (SpanDurationNs(r, &duration_ns, &span_name)) {
+    if (flow_ph != nullptr) {
+      std::fprintf(out,
+                   "{\"ph\":\"%s\",\"id\":%" PRId64
+                   ",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,%s"
+                   "\"name\":\"req\",\"cat\":\"%s\",\"args\":{\"arg\":%d,\"payload\":%" PRId64
+                   "}}",
+                   flow_ph, r.payload, pid, tid, r.time_ns / 1e3,
+                   flow_ph[0] == 'f' ? "\"bp\":\"e\"," : "", layer, r.arg, r.payload);
+    } else if (SpanDurationNs(r, &duration_ns, &span_name)) {
       const int64_t begin_ns = r.time_ns - duration_ns;
       std::fprintf(out,
                    "{\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,"
