@@ -223,6 +223,13 @@ int main(int argc, char** argv) {
                   "scoring\n",
                   grid[i].c_str(), unscored);
     }
+    if (!score.missed_lines.empty()) {
+      std::printf("%s undetected episodes (%zu):\n", grid[i].c_str(),
+                  score.missed_lines.size());
+      for (const std::string& line : score.missed_lines) {
+        std::printf("  %s\n", line.c_str());
+      }
+    }
     std::string prefix = grid[i] + "_";
     json.Metric(prefix + "precision", score.precision);
     json.Metric(prefix + "recall", score.recall);

@@ -49,11 +49,14 @@ KIND_NAMES = {
     63: "req_deferred_finish", 64: "req_attempt_orphan",
     65: "req_attempt_timeout", 66: "req_attempt_cancel", 67: "req_fail",
     68: "req_shed",
+    70: "remedy_verdict", 71: "remedy_quarantine", 72: "remedy_drain_start",
+    73: "remedy_drain_done", 74: "remedy_rebalance_move", 75: "remedy_rollback",
+    76: "remedy_governor_defer",
 }
 
 # kind -> span name for records whose payload is the activity's duration (ns);
 # the record marks the end of the activity.
-SPAN_KINDS = {11: "grant", 24: "node-down", 51: "partitioned"}
+SPAN_KINDS = {11: "grant", 24: "node-down", 51: "partitioned", 73: "remedy-drain"}
 
 # Request-correlation records (kinds 60-68, payload = request id) map to
 # Chrome flow events so Perfetto draws each request's causal arrows across

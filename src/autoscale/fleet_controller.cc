@@ -35,6 +35,7 @@ FleetController::FleetController(Simulator* sim, ClusterDispatcher* dispatcher,
   LITHOS_CHECK_GE(config_.min_nodes, 1);
   LITHOS_CHECK_LE(config_.min_nodes, dispatcher_->config().num_nodes);
   states_.assign(dispatcher_->config().num_nodes, NodePower::kActive);
+  remediation_hold_.assign(static_cast<size_t>(dispatcher_->config().num_nodes), 0);
 
   // Offered load at the diurnal mean and peak: the packing scale reference
   // and the static policy's provisioning envelope.
@@ -108,7 +109,8 @@ bool FleetController::ApplyLifecycle(int desired) {
     // in-flight kernels before CompleteDrains gates the host dark). A
     // partitioned node likewise drains out of rotation, but keeps its work.
     const bool wanted = activated < desired && !dispatcher_->NodeFailed(n) &&
-                        !dispatcher_->NodePartitioned(n);
+                        !dispatcher_->NodePartitioned(n) &&
+                        remediation_hold_[static_cast<size_t>(n)] == 0;
     if (wanted) {
       ++activated;
       if (states_[n] == NodePower::kPoweredOff) {
@@ -135,6 +137,22 @@ bool FleetController::ApplyLifecycle(int desired) {
     }
   }
   return changed;
+}
+
+void FleetController::RequestDrain(int node) {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, static_cast<int>(states_.size()));
+  remediation_hold_[static_cast<size_t>(node)] = 1;
+}
+
+void FleetController::ReleaseDrain(int node) {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, static_cast<int>(states_.size()));
+  remediation_hold_[static_cast<size_t>(node)] = 0;
+}
+
+bool FleetController::DrainHeld(int node) const {
+  return remediation_hold_[static_cast<size_t>(node)] != 0;
 }
 
 bool FleetController::HasStrandedReplicas() const {
@@ -290,7 +308,8 @@ void FleetController::Tick(TimeNs until) {
       snap.backlog_ms >
       snap.powered_on * snap.node_capacity_ms_per_s * ToSeconds(config_.control_period);
   if (dispatcher_->config().policy == PlacementPolicy::kModelAffinity &&
-      (changed || overloaded || HasStrandedReplicas())) {
+      (changed || overloaded || force_rebalance_ || HasStrandedReplicas())) {
+    force_rebalance_ = false;
     // Pack at the demand clamped to the diurnal peak: the backlog term in
     // `demand` buys nodes (capacity), but letting it inflate the packing
     // rate makes every bin overflow and first-fit concentrates the overflow

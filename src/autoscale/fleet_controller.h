@@ -126,6 +126,24 @@ class FleetController {
   // off/on appends a TraceLayer::kControl record.
   void SetTrace(TraceRecorder* trace) { trace_ = trace; }
 
+  // --- Remediation hooks (src/remediate/) ----------------------------------
+
+  // Holds a node out of the active set: at the next tick it drains (replicas
+  // are forced off by the rebalance diff, queued work finishes) and then
+  // power-gates, exactly like a scale-down drain — until ReleaseDrain lifts
+  // the hold and the scaling target wants it back. Idempotent.
+  void RequestDrain(int node);
+  void ReleaseDrain(int node);
+  bool DrainHeld(int node) const;
+
+  // Forces a full rebalance pass at the next tick even though the active set
+  // is stable — the remediation controller's lever for re-spreading replicas
+  // off herded survivors after a crash or partition heals (the per-tick
+  // migration budget still applies, so a storm cannot thrash placement).
+  void RequestRebalance() { force_rebalance_ = true; }
+
+  const AutoscaleConfig& config() const { return config_; }
+
  private:
   void Tick(TimeNs until);
   FleetSnapshot BuildSnapshot() const;
@@ -148,6 +166,8 @@ class FleetController {
   std::unique_ptr<ScalingPolicy> policy_;
 
   std::vector<NodePower> states_;
+  std::vector<uint8_t> remediation_hold_;  // nodes held out by RequestDrain
+  bool force_rebalance_ = false;           // one-shot RequestRebalance latch
   double mean_offered_ms_per_s_ = 0;  // offered load at the diurnal mean
   double peak_offered_ms_per_s_ = 0;  // offered load at the diurnal peak
 

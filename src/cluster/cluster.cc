@@ -125,6 +125,8 @@ ClusterDispatcher::ClusterDispatcher(Simulator* sim, const ClusterConfig& config
   model_dispatched_.assign(models.size(), 0);
   model_retries_.assign(models.size(), 0);
   quarantine_until_.assign(models.size() * static_cast<size_t>(config_.num_nodes), 0);
+  node_quarantine_until_.assign(static_cast<size_t>(config_.num_nodes), 0);
+  ctr_node_quarantines_ = &metrics_.counter("fleet/node_quarantines");
   active_node_count_ = config_.num_nodes;  // every node starts in rotation
 
   // Peak of the diurnal curve, used as the thinning envelope for arrivals.
@@ -651,6 +653,48 @@ bool ClusterDispatcher::NodePartitioned(int node) const {
   return node_state_[node].partitioned;
 }
 
+void ClusterDispatcher::QuarantineNode(int node, TimeNs until) {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, config_.num_nodes);
+  TimeNs& q = node_quarantine_until_[static_cast<size_t>(node)];
+  if (until > q) {
+    q = until;
+  }
+  ctr_node_quarantines_->Inc();
+}
+
+void ClusterDispatcher::UnquarantineNode(int node) {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, config_.num_nodes);
+  node_quarantine_until_[static_cast<size_t>(node)] = 0;
+}
+
+bool ClusterDispatcher::NodeQuarantined(int node) const {
+  LITHOS_CHECK_GE(node, 0);
+  LITHOS_CHECK_LT(node, config_.num_nodes);
+  return node_quarantine_until_[static_cast<size_t>(node)] > sim_->Now();
+}
+
+double ClusterDispatcher::HerdImbalance() const {
+  double sum = 0;
+  double worst = 0;
+  int in_rotation = 0;
+  for (int n = 0; n < config_.num_nodes; ++n) {
+    const NodeState& state = node_state_[n];
+    if (state.failed || state.partitioned || nodes_[n]->engine()->power_gated()) {
+      continue;
+    }
+    const double queued = outstanding_ms_[n];
+    sum += queued;
+    worst = std::max(worst, queued);
+    ++in_rotation;
+  }
+  if (in_rotation == 0 || sum <= 0) {
+    return 0;
+  }
+  return worst / (sum / in_rotation);
+}
+
 void ClusterDispatcher::AppendRecoveryLog(const char* action, int model_index, int from, int to) {
   char line[96];
   std::snprintf(line, sizeof(line), "t=%lldns %s model=%s %d->%d",
@@ -817,6 +861,9 @@ int ClusterDispatcher::PickAttemptNode(int model_index, const RequestState& req,
   const FleetModel& model = fleet_.models()[model_index];
   const double switch_ms = config_.switch_cost_ms_per_size * model.size;
   auto doomed = [&](int n) {
+    if (node_quarantine_until_[static_cast<size_t>(n)] > sim_->Now()) {
+      return true;  // remediation quarantined the whole node
+    }
     const size_t pair = static_cast<size_t>(model_index) * config_.num_nodes + n;
     if (quarantine_until_[pair] > sim_->Now()) {
       return true;  // breaker open: a recent attempt timed out on this pair

@@ -386,6 +386,27 @@ class ClusterDispatcher {
 
   uint64_t recoveries() const { return ctr_recoveries_->value(); }
 
+  // --- Remediation hooks (src/remediate/) -----------------------------------
+
+  // Fleet-level node quarantine: new attempts steer around the node for
+  // *every* model until `until` — the whole-node extension of the
+  // per-(model, node) breaker, same doomed() avoidance tier, so a fleet with
+  // no healthy alternative still serves rather than refusing. Issued by the
+  // remediation controller on a gray verdict; extending is monotone, early
+  // lift only via UnquarantineNode (rollback). Resilient dispatch path only,
+  // like the breaker.
+  void QuarantineNode(int node, TimeNs until);
+  void UnquarantineNode(int node);
+  bool NodeQuarantined(int node) const;
+  uint64_t node_quarantines() const { return ctr_node_quarantines_->value(); }
+
+  // Herd imbalance: the max over in-rotation healthy nodes of outstanding
+  // GPU-ms divided by their mean (>= 1 under load, 0 for an idle fleet). A
+  // post-heal herd — survivors holding the load of nodes that just rejoined
+  // empty — shows up as a high max/mean ratio; the remediation controller's
+  // load-aware rebalancing keys on it (docs/remediation.md).
+  double HerdImbalance() const;
+
   // Append-only, deterministically formatted record of every recovery
   // action (RecoverModelReplica / DropLostReplica) since construction; the
   // fault-replay tests compare it byte-for-byte across runs.
@@ -611,6 +632,9 @@ class ClusterDispatcher {
   // (model, node) pair, indexed model * num_nodes + node. Tripped by an
   // attempt timeout, cleared by a completion on the pair.
   std::vector<TimeNs> quarantine_until_;
+  // Fleet-level quarantine (remediation): avoid the node for every model.
+  std::vector<TimeNs> node_quarantine_until_;
+  Counter* ctr_node_quarantines_ = nullptr;
   // Shed signal: fleet-wide outstanding GPU-ms and in-rotation node count,
   // both maintained incrementally.
   double total_outstanding_ms_ = 0;

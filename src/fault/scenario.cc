@@ -16,6 +16,7 @@ struct DetectorTicker {
   Simulator* sim = nullptr;
   FleetDispatcher* fleet = nullptr;
   GrayNodeDetector* detector = nullptr;
+  RemediationController* remedy = nullptr;  // ticks right after the detector
   TimeNs horizon = 0;
   DurationNs window = 0;
 
@@ -30,10 +31,32 @@ struct DetectorTicker {
         known_down[static_cast<size_t>(n)] = fleet->NodeFailed(n) ? 1 : 0;
       }
       detector->Tick(at, fleet->detector_feed(), known_down);
+      if (remedy != nullptr) {
+        remedy->Tick(at);
+      }
       Schedule(at + window);
     });
   }
 };
+
+// An action is justified when a ground-truth span was active on its target
+// at (or within this grace before) the action instant — detection lag plus
+// the quarantine + probation round-trip can lawfully land an escalation
+// shortly after the underlying fault ended.
+constexpr DurationNs kJustifiedGrace = FromMillis(2000);
+
+bool ActionJustified(const RemedyEvent& event,
+                     const std::vector<GroundTruthSpan>& truth) {
+  for (const GroundTruthSpan& span : truth) {
+    const bool target_match =
+        span.node >= 0 ? span.node == event.node : span.zone == event.zone;
+    if (target_match && event.at >= span.start &&
+        event.at <= span.end + kJustifiedGrace) {
+      return true;
+    }
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -96,6 +119,15 @@ FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
     ticker.horizon = horizon;
     ticker.window = config.detector.window;
     ticker.Schedule(config.detector.window);
+  }
+
+  // Self-healing remediation rides the detector tick (never without it).
+  std::unique_ptr<RemediationController> remedy;
+  if (config.detect && config.remediate) {
+    remedy = std::make_unique<RemediationController>(
+        &sim, &fleet, &controller, detector.get(), config.remediation);
+    remedy->SetTrace(config.trace);
+    ticker.remedy = remedy.get();
   }
 
   // Phase boundaries: close the window (Collect) before the next one opens.
@@ -164,6 +196,34 @@ FleetFaultResult RunFleetFaultScenario(const FleetFaultConfig& config) {
     result.detector_lines = detector->Lines();
     result.detector_ticks = detector->ticks();
     result.ground_truth = injector.GroundTruthSpans(horizon);
+  }
+  if (remedy) {
+    result.remedy_events = remedy->events();
+    result.remedy_lines = remedy->Lines();
+    result.remedy_quarantines = remedy->quarantines();
+    result.remedy_drains = remedy->drains();
+    result.remedy_restarts = remedy->restarts();
+    result.remedy_rebalances = remedy->rebalances();
+    result.remedy_rollbacks = remedy->rollbacks();
+    result.remedy_synthetic_rollbacks = remedy->synthetic_rollbacks();
+    result.remedy_deferrals = remedy->deferrals();
+    result.remedy_actions = remedy->actions();
+    result.remedy_peak_fleet_drains = remedy->peak_fleet_drains();
+    result.remedy_peak_zone_drains = remedy->peak_zone_drains();
+    for (const RemedyEvent& event : result.remedy_events) {
+      if (event.action != RemedyAction::kQuarantine &&
+          event.action != RemedyAction::kDrain &&
+          event.action != RemedyAction::kRestart) {
+        continue;
+      }
+      if (event.synthetic) {
+        ++result.remedy_injected_actions;
+      } else if (ActionJustified(event, result.ground_truth)) {
+        ++result.remedy_justified_actions;
+      } else {
+        ++result.remedy_unjustified_actions;
+      }
+    }
   }
   return result;
 }

@@ -17,6 +17,7 @@
 #include "src/autoscale/fleet_controller.h"
 #include "src/cluster/cluster.h"
 #include "src/fault/fault_injector.h"
+#include "src/remediate/remediation_controller.h"
 
 namespace lithos {
 
@@ -54,6 +55,15 @@ struct FleetFaultConfig {
   // result for scoring (docs/attribution.md).
   bool detect = false;
   DetectorConfig detector;
+
+  // Self-healing remediation (requires detect): a RemediationController
+  // subscribes to the detector's verdicts and ticks right after it on the
+  // same clock, issuing graded actions — quarantine / drain + re-spread /
+  // forced restart — through the dispatcher and controller, under the
+  // blast-radius governor (docs/remediation.md). The action log, counters,
+  // and ground-truth action precision land in the result.
+  bool remediate = false;
+  RemediationConfig remediation;
 
   // Optional binary trace sink. When set, the simulator core, every node
   // engine, the dispatcher, the controller, and the injector all append to
@@ -121,6 +131,28 @@ struct FleetFaultResult {
   std::vector<std::string> detector_lines;
   std::vector<GroundTruthSpan> ground_truth;
   int detector_ticks = 0;
+  // Remediation output (empty/zero unless config.remediate): the
+  // issue-ordered action log and its rendering, action counters, governor
+  // high-water marks, and ground-truth action scoring.
+  std::vector<RemedyEvent> remedy_events;
+  std::vector<std::string> remedy_lines;
+  uint64_t remedy_quarantines = 0;
+  uint64_t remedy_drains = 0;
+  uint64_t remedy_restarts = 0;
+  uint64_t remedy_rebalances = 0;
+  uint64_t remedy_rollbacks = 0;
+  uint64_t remedy_synthetic_rollbacks = 0;
+  uint64_t remedy_deferrals = 0;
+  uint64_t remedy_actions = 0;        // quarantines + drains + restarts
+  int remedy_peak_fleet_drains = 0;   // <= remediation.max_drains_fleet
+  int remedy_peak_zone_drains = 0;    // <= remediation.max_drains_per_zone
+  // Action precision against the injector's ground truth: of the gray
+  // actions NOT triggered by injected false positives, how many landed on a
+  // node/zone with a truth span active at (or within a grace window before)
+  // the action instant.
+  uint64_t remedy_justified_actions = 0;
+  uint64_t remedy_unjustified_actions = 0;
+  uint64_t remedy_injected_actions = 0;  // actions from synthetic verdicts
 };
 
 // Builds simulator + FleetDispatcher + FleetController + FaultInjector,

@@ -166,7 +166,7 @@ void GrayNodeDetector::Tick(TimeNs now, const DetectorFeed& feed,
         v.zone = node_zone_[ni];
         v.model = node_worst_model[ni];
         v.score = node_score[ni];
-        verdicts_.push_back(v);
+        Emit(v);
       }
     } else if (node_flagged_[ni] != 0) {
       if (++node_healthy_streak_[ni] >= cfg_.clear_windows) {
@@ -215,7 +215,7 @@ void GrayNodeDetector::Tick(TimeNs now, const DetectorFeed& feed,
         v.kind = Verdict::Kind::kPartition;
         v.zone = z;
         v.score = base.value();
-        verdicts_.push_back(v);
+        Emit(v);
       }
     } else {
       base.Observe(delta);
@@ -247,7 +247,7 @@ void GrayNodeDetector::Tick(TimeNs now, const DetectorFeed& feed,
         v.node = n;
         v.zone = node_zone_[ni];
         v.score = ratio;
-        verdicts_.push_back(v);
+        Emit(v);
       }
     } else {
       metastable_streak_[ni] = 0;
@@ -256,6 +256,35 @@ void GrayNodeDetector::Tick(TimeNs now, const DetectorFeed& feed,
   }
 
   prev_ = feed;
+}
+
+void GrayNodeDetector::Emit(const Verdict& verdict) {
+  verdicts_.push_back(verdict);
+  if (sink_ != nullptr) {
+    sink_->OnVerdict(verdicts_.size() - 1, verdicts_.back());
+  }
+}
+
+void GrayNodeDetector::Demote(size_t index) {
+  LITHOS_CHECK_LT(index, verdicts_.size());
+  Verdict& v = verdicts_[index];
+  v.demoted = true;
+  // Re-arm the episode so a genuine recurrence alarms afresh instead of
+  // riding the stale flag (one-verdict-per-episode would otherwise swallow
+  // it). No cooldown is granted: the episode officially never happened.
+  switch (v.kind) {
+    case Verdict::Kind::kStraggler:
+      node_flagged_[static_cast<size_t>(v.node)] = 0;
+      node_healthy_streak_[static_cast<size_t>(v.node)] = 0;
+      break;
+    case Verdict::Kind::kPartition:
+      zone_flagged_[static_cast<size_t>(v.zone)] = 0;
+      break;
+    case Verdict::Kind::kMetastable:
+      metastable_flagged_[static_cast<size_t>(v.node)] = 0;
+      metastable_streak_[static_cast<size_t>(v.node)] = 0;
+      break;
+  }
 }
 
 std::vector<std::string> GrayNodeDetector::Lines() const {
@@ -281,6 +310,9 @@ DetectorScore ScoreDetector(const std::vector<Verdict>& verdicts,
     if (v.kind == Verdict::Kind::kMetastable) {
       continue;  // reported for operators, unscored (no injected analogue)
     }
+    if (v.demoted) {
+      continue;  // retracted by remediation rollback: never issued, for scoring
+    }
     ++score.scored_verdicts;
     bool matched = false;
     for (size_t i = 0; i < truth.size(); ++i) {
@@ -305,11 +337,24 @@ DetectorScore ScoreDetector(const std::vector<Verdict>& verdicts,
   }
   score.truth_spans = truth.size();
   std::vector<double> ttds;
+  char line[160];
   for (size_t i = 0; i < truth.size(); ++i) {
     if (first_match[i] >= 0) {
       ++score.detected_spans;
       ttds.push_back(static_cast<double>(first_match[i] - truth[i].start) /
                      static_cast<double>(window));
+    } else {
+      // Name the miss: which fault, on which target, over which detector
+      // windows — so a recall gap is attributable span by span.
+      const TruthSpan& t = truth[i];
+      std::snprintf(line, sizeof(line),
+                    "missed %-10s zone=%d node=%d windows=[%.0f,%.0f] "
+                    "t=[%9.3f,%9.3f]ms",
+                    VerdictKindName(t.kind), t.zone, t.node,
+                    static_cast<double>(t.start) / static_cast<double>(window),
+                    static_cast<double>(t.end) / static_cast<double>(window),
+                    ToMillis(t.start), ToMillis(t.end));
+      score.missed_lines.emplace_back(line);
     }
   }
   score.precision =

@@ -105,9 +105,21 @@ struct Verdict {
   int zone = -1;
   int model = -1;      // worst inflated pair's model (stragglers only)
   double score = 0;    // inflation / silence-baseline / timeout ratio
+  // Retracted after the fact (remediation rollback of a false positive):
+  // the verdict stays in the log for audit but is excluded from scoring.
+  bool demoted = false;
 };
 
 const char* VerdictKindName(Verdict::Kind kind);
+
+// Receives every verdict the instant it is flagged, inside Tick(). `index`
+// is the verdict's position in verdicts() — the handle Demote() takes. The
+// remediation controller is the intended consumer (docs/remediation.md).
+class VerdictSink {
+ public:
+  virtual ~VerdictSink() = default;
+  virtual void OnVerdict(size_t index, const Verdict& verdict) = 0;
+};
 
 class GrayNodeDetector {
  public:
@@ -129,6 +141,23 @@ class GrayNodeDetector {
   std::vector<std::string> Lines() const;
   int ticks() const { return ticks_; }
 
+  // Attaches a verdict sink (nullptr detaches); called synchronously from
+  // Tick() for each new verdict.
+  void SetVerdictSink(VerdictSink* sink) { sink_ = sink; }
+
+  // Demotes a verdict (remediation rollback): marks it retracted and
+  // re-arms the matching episode state, so a *real* recurrence of the same
+  // fault alarms again instead of riding the stale episode flag.
+  void Demote(size_t index);
+
+  // Live episode state, for post-action probation checks.
+  bool node_flagged(int node) const {
+    return node_flagged_[static_cast<size_t>(node)] != 0;
+  }
+  bool zone_flagged(int zone) const {
+    return zone_flagged_[static_cast<size_t>(zone)] != 0;
+  }
+
  private:
   DetectorConfig cfg_;
   int num_nodes_;
@@ -147,7 +176,10 @@ class GrayNodeDetector {
   std::vector<int> metastable_streak_;
   std::vector<uint8_t> metastable_flagged_;
   std::vector<Verdict> verdicts_;
+  VerdictSink* sink_ = nullptr;
   int ticks_ = 0;
+
+  void Emit(const Verdict& verdict);
 };
 
 // Neutral ground-truth span for scoring (callers convert injector spans;
@@ -168,11 +200,16 @@ struct DetectorScore {
   double precision = 0;          // matched / scored (1.0 when no verdicts)
   double recall = 0;             // detected / truth (1.0 when no spans)
   double median_ttd_windows = 0; // over each detected span's first verdict
+  // Missed-episode diagnostics: one deterministic line per undetected truth
+  // span (fault kind, target, window index range) so a recall gap names its
+  // misses instead of hiding them in an aggregate.
+  std::vector<std::string> missed_lines;
 };
 
 // Matches verdicts to truth spans: same kind and same node (straggler) or
 // zone (partition), verdict time within [start, end + grace]. Metastable
-// verdicts are ignored. Time-to-detection is (verdict - start) / window.
+// and demoted verdicts are ignored. Time-to-detection is
+// (verdict - start) / window.
 DetectorScore ScoreDetector(const std::vector<Verdict>& verdicts,
                             const std::vector<TruthSpan>& truth,
                             DurationNs window, DurationNs grace);

@@ -61,6 +61,13 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kReqAttemptCancel: return "req_attempt_cancel";
     case TraceKind::kReqFail: return "req_fail";
     case TraceKind::kReqShed: return "req_shed";
+    case TraceKind::kRemedyVerdict: return "remedy_verdict";
+    case TraceKind::kRemedyQuarantine: return "remedy_quarantine";
+    case TraceKind::kRemedyDrainStart: return "remedy_drain_start";
+    case TraceKind::kRemedyDrainDone: return "remedy_drain_done";
+    case TraceKind::kRemedyRebalanceMove: return "remedy_rebalance_move";
+    case TraceKind::kRemedyRollback: return "remedy_rollback";
+    case TraceKind::kRemedyGovernorDefer: return "remedy_governor_defer";
   }
   return "unknown";
 }

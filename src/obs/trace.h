@@ -106,6 +106,17 @@ enum class TraceKind : uint8_t {
   kReqAttemptCancel = 66,  // hedge loser cancelled after the winner landed
   kReqFail = 67,           // arg = model index; request exhausted retries
   kReqShed = 68,           // arg = model index; admission shed
+
+  // TraceLayer::kControl, remediation decade — the self-healing control
+  // plane's action lifecycle (src/remediate/). node/zone name the target;
+  // zone-level records (partition verdicts, herd rebalances) carry node = -1.
+  kRemedyVerdict = 70,       // arg = Verdict::Kind; payload = score in ppm
+  kRemedyQuarantine = 71,    // payload = quarantine window (ns)
+  kRemedyDrainStart = 72,    // arg = 0 drain, 1 forced restart
+  kRemedyDrainDone = 73,     // arg = 0 drain, 1 forced restart; payload = held ns
+  kRemedyRebalanceMove = 74, // herd re-spread forced; payload = imbalance ppm
+  kRemedyRollback = 75,      // false positive undone; arg = demoted verdict index
+  kRemedyGovernorDefer = 76, // arg = RemedyDeferReason; action held, not issued
 };
 
 // Helpers for the request-correlation `arg` encoding above.

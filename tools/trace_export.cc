@@ -95,6 +95,10 @@ bool SpanDurationNs(const TraceRecord& r, int64_t* duration_ns, const char** nam
       *duration_ns = r.payload;
       *name = "partitioned";
       return true;
+    case TraceKind::kRemedyDrainDone:
+      *duration_ns = r.payload;
+      *name = "remedy-drain";
+      return true;
     default:
       return false;
   }
